@@ -1,0 +1,78 @@
+// Fig. 12 reproduction: ablation on the SA optimisations (guided
+// randomness + relaxed temperature) — utility convergence traces of
+// PARALEON vs naive_SA on FB_Hadoop and the LLM training workload.
+//
+// Reproduced shape: PARALEON's utility climbs to a high value within a few
+// dozen monitor intervals; naive_SA needs far more iterations and tracks
+// lower over the same horizon.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace paraleon;
+using namespace paraleon::bench;
+using namespace paraleon::runner;
+
+namespace {
+
+stats::TimeSeries run_trace(Scheme s, bool llm) {
+  ExperimentConfig cfg = paper_fabric(s, 53);
+  cfg.duration = milliseconds(300);
+  if (llm) {
+    // §III-C: throughput-sensitive weights for LLM training.
+    cfg.controller.weights = core::UtilityWeights::throughput_sensitive();
+  }
+  // A single long episode per run, triggered immediately; both variants
+  // share episode shape so the mutation policy is the only difference.
+  cfg.controller.sa.total_iter_num = 10;
+  cfg.controller.sa.cooling_rate = 0.85;
+  cfg.controller.eval_mi_per_candidate = 1;
+  Experiment exp(cfg);
+  if (llm) {
+    workload::AlltoallConfig a2a;
+    for (int i = 0; i < 16; ++i) a2a.workers.push_back(i * 4);
+    a2a.flow_size = 512 * 1024;
+    a2a.off_period = milliseconds(1);
+    exp.add_alltoall(a2a);
+  } else {
+    exp.add_poisson(fb_hadoop(exp, 0.3, milliseconds(290), 5301));
+  }
+  exp.controller()->force_trigger();
+  exp.run();
+  return exp.controller()->utility_series();
+}
+
+void compare(const char* title, bool llm) {
+  std::printf("\n-- %s --\n", title);
+  const stats::TimeSeries paraleon = run_trace(Scheme::kParaleon, llm);
+  const stats::TimeSeries naive = run_trace(Scheme::kParaleonNaiveSa, llm);
+  std::printf("%-12s %-12s %-12s\n", "window_ms", "naive_SA", "PARALEON");
+  for (Time t = 0; t < milliseconds(300); t += milliseconds(30)) {
+    std::printf("%4lld-%-7lld %-12.4f %-12.4f\n",
+                static_cast<long long>(to_ms(t)),
+                static_cast<long long>(to_ms(t + milliseconds(30))),
+                naive.mean_in(t, t + milliseconds(30)),
+                paraleon.mean_in(t, t + milliseconds(30)));
+  }
+  // Convergence summary: mean utility of the final 100 ms.
+  std::printf("final-100ms mean:  naive=%.4f  paraleon=%.4f\n",
+              naive.mean_in(milliseconds(200), milliseconds(300)),
+              paraleon.mean_in(milliseconds(200), milliseconds(300)));
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 12: SA ablation — utility convergence, naive vs guided",
+               "one forced tuning episode on 64 hosts @10G; 10 iters/temp, "
+               "x0.85 cooling (Table III shape)");
+  compare("(a) FB_Hadoop @30%", /*llm=*/false);
+  compare("(b) LLM training alltoall", /*llm=*/true);
+  std::printf(
+      "\nPaper Fig. 12 shape: PARALEON reaches a higher utility plateau\n"
+      "within dozens of MIs; naive_SA stays lower/slower. The FB_Hadoop\n"
+      "half reproduces strongly; the alltoall half is close to a tie at\n"
+      "this fabric scale (its utility landscape is flat — see\n"
+      "EXPERIMENTS.md).\n");
+  return 0;
+}

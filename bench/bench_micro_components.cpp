@@ -1,0 +1,108 @@
+// Component microbenchmarks (google-benchmark): the building blocks whose
+// costs underlie Table IV — sketch insert/query, control-plane flow-state
+// update, KL divergence, SA mutation, and the event engine.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/flow_state.hpp"
+#include "core/fsd.hpp"
+#include "core/param_space.hpp"
+#include "sim/simulator.hpp"
+#include "sketch/elastic_sketch.hpp"
+
+namespace paraleon {
+namespace {
+
+void BM_ElasticSketchInsert(benchmark::State& state) {
+  sketch::ElasticSketch es{sketch::ElasticSketchConfig{}};
+  Rng rng(1);
+  const auto flows = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t f = 0;
+  for (auto _ : state) {
+    es.insert(f, 1000);
+    f = (f + 0x9E3779B9u) % flows;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElasticSketchInsert)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ElasticSketchQuery(benchmark::State& state) {
+  sketch::ElasticSketch es{sketch::ElasticSketchConfig{}};
+  for (std::uint64_t f = 0; f < 1000; ++f) es.insert(f, 1000);
+  std::uint64_t f = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(es.query(f));
+    f = (f + 1) % 1000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElasticSketchQuery);
+
+void BM_ElasticSketchHeavyDrain(benchmark::State& state) {
+  sketch::ElasticSketch es{sketch::ElasticSketchConfig{}};
+  for (std::uint64_t f = 0; f < 2000; ++f) es.insert(f, 4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(es.heavy_flows());
+  }
+}
+BENCHMARK(BM_ElasticSketchHeavyDrain);
+
+void BM_TernaryAdvance(benchmark::State& state) {
+  core::TernaryClassifier c;
+  std::vector<sketch::HeavyRecord> recs;
+  for (std::int64_t f = 0; f < state.range(0); ++f) {
+    recs.push_back({static_cast<std::uint64_t>(f), 100 * 1024});
+  }
+  for (auto _ : state) {
+    c.advance(recs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TernaryAdvance)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_KlDivergence(benchmark::State& state) {
+  core::FsdBuilder a;
+  core::FsdBuilder b;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    a.add_flow(static_cast<std::int64_t>(rng.uniform(100, 1e7)), 0.5);
+    b.add_flow(static_cast<std::int64_t>(rng.uniform(100, 1e7)), 0.5);
+  }
+  const core::Fsd fa = a.build();
+  const core::Fsd fb = b.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::kl_divergence(fa, fb));
+  }
+}
+BENCHMARK(BM_KlDivergence);
+
+void BM_SaGuidedMutation(benchmark::State& state) {
+  const core::ParamSpace space =
+      core::ParamSpace::standard(gbps(100), 12ll << 20);
+  Rng rng(5);
+  dcqcn::DcqcnParams p = dcqcn::default_params();
+  for (auto _ : state) {
+    p = space.mutate_guided(p, 0.7, rng);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_SaGuidedMutation);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at((i * 7919) % 100000, [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+}  // namespace
+}  // namespace paraleon
+
+BENCHMARK_MAIN();

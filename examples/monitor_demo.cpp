@@ -1,0 +1,88 @@
+// Runtime Metric Monitor demo: why the ternary sliding window matters.
+//
+//   ./examples/monitor_demo
+//
+// Feeds a throttled elephant (an elephant flow congested below tau per
+// monitor interval — the paper's §III-B motivating case) through (a) naive
+// per-interval Elastic Sketch classification and (b) PARALEON's ternary
+// sliding-window state machine, printing the state evolution of Fig. 4.
+#include <cstdio>
+
+#include "core/flow_state.hpp"
+#include "core/monitor.hpp"
+#include "sketch/elastic_sketch.hpp"
+
+using namespace paraleon;
+using namespace paraleon::core;
+
+namespace {
+
+const char* state_name(FlowState s) {
+  switch (s) {
+    case FlowState::kMice: return "M";
+    case FlowState::kPotentialElephant: return "PE";
+    case FlowState::kElephant: return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4 walkthrough (tau = 1MB, delta = 3)\n");
+  std::printf("%-5s %-12s %-12s %-12s %-8s %-8s\n", "MI", "f1_bytes",
+              "f2_bytes", "f3_bytes", "f2_state", "f3_state");
+
+  TernaryConfig cfg;
+  cfg.tau_bytes = 1 << 20;
+  cfg.delta = 3;
+  TernaryClassifier c(cfg);
+
+  // f1 is a clear elephant; f2 trickles and crosses tau at MI7; f3 trickles
+  // then dies at MI8.
+  const std::int64_t f1 = 2 << 20;
+  const std::int64_t f2[] = {400 << 10, 400 << 10, 50 << 10, 20 << 10,
+                             20 << 10, 20 << 10, 200 << 10, 100 << 10};
+  const std::int64_t f3[] = {300 << 10, 100 << 10, 100 << 10, 50 << 10,
+                             50 << 10, 50 << 10, 50 << 10, 0};
+  for (int mi = 0; mi < 8; ++mi) {
+    std::vector<sketch::HeavyRecord> recs;
+    if (mi == 0) recs.push_back({1, f1});
+    if (f2[mi] > 0) recs.push_back({2, f2[mi]});
+    if (f3[mi] > 0) recs.push_back({3, f3[mi]});
+    c.advance(recs);
+    std::printf("MI%-3d %-12lld %-12lld %-12lld %-8s %-8s\n", mi + 1,
+                static_cast<long long>(mi == 0 ? f1 : 0),
+                static_cast<long long>(f2[mi]),
+                static_cast<long long>(f3[mi]),
+                c.find(2) ? state_name(c.find(2)->state) : "-",
+                c.find(3) ? state_name(c.find(3)->state) : "-");
+  }
+  std::printf("\nf2 ends %s (cumulative bytes crossed tau at MI7); "
+              "f3 ends %s (went idle at MI8).\n",
+              state_name(c.find(2)->state), state_name(c.find(3)->state));
+
+  // Contrast with a naive per-interval agent on the throttled elephant.
+  std::printf("\nThrottled elephant (300KB per 1ms interval):\n");
+  AgentConfig ternary_cfg;
+  SwitchAgent ternary(ternary_cfg, [] {
+    return std::vector<sketch::HeavyRecord>{{9, 300 << 10}};
+  });
+  AgentConfig naive_cfg;
+  naive_cfg.mode = AgentConfig::Mode::kPerInterval;
+  SwitchAgent naive(naive_cfg, [] {
+    return std::vector<sketch::HeavyRecord>{{9, 300 << 10}};
+  });
+  for (int mi = 1; mi <= 6; ++mi) {
+    ternary.on_monitor_interval();
+    naive.on_monitor_interval();
+    std::printf("  MI%-2d PARALEON elephant-likelihood=%.2f   naive=%.2f\n",
+                mi, ternary.elephant_likelihood(9),
+                naive.elephant_likelihood(9));
+  }
+  std::printf(
+      "\nPARALEON's likelihood converges to 1 (elephant) while the naive\n"
+      "per-interval view stays at 0 (mice) forever — the misidentification\n"
+      "that mis-steers parameter tuning.\n");
+  return 0;
+}

@@ -1,0 +1,246 @@
+// Command-line experiment driver: run any tuning scheme on any of the
+// built-in workloads and fabric shapes without writing code.
+//
+//   ./examples/paraleon_cli --scheme paraleon --workload fb_hadoop \
+//       --load 0.3 --duration-ms 250 --csv /tmp/run
+//
+// Prints an FCT/throughput summary; with --csv PREFIX also writes
+// PREFIX_throughput.csv, PREFIX_rtt.csv and PREFIX_flows.csv for plotting.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "runner/experiment.hpp"
+#include "runner/report.hpp"
+#include "stats/csv_export.hpp"
+#include "stats/percentile.hpp"
+
+using namespace paraleon;
+using namespace paraleon::runner;
+
+namespace {
+
+struct Options {
+  Scheme scheme = Scheme::kParaleon;
+  std::string workload = "fb_hadoop";
+  double load = 0.3;
+  int tors = 4;
+  int leaves = 2;
+  int hosts_per_tor = 4;
+  double host_gbps = 10.0;
+  double fabric_gbps = 10.0;
+  int duration_ms = 200;
+  int alltoall_workers = 8;
+  std::int64_t alltoall_kb = 512;
+  std::uint64_t seed = 1;
+  std::string csv_prefix;
+  bool verbose = false;
+};
+
+const std::map<std::string, Scheme>& scheme_map() {
+  static const std::map<std::string, Scheme> m = {
+      {"default", Scheme::kDefaultStatic},
+      {"expert", Scheme::kExpertStatic},
+      {"paraleon", Scheme::kParaleon},
+      {"naive-sa", Scheme::kParaleonNaiveSa},
+      {"no-fsd", Scheme::kParaleonNoFsd},
+      {"netflow", Scheme::kParaleonNetflow},
+      {"naive-sketch", Scheme::kParaleonNaiveSketch},
+      {"rnic-counters", Scheme::kParaleonRnicCounters},
+      {"per-pod", Scheme::kParaleonPerPod},
+      {"acc", Scheme::kAcc},
+      {"dcqcn-plus", Scheme::kDcqcnPlus},
+  };
+  return m;
+}
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --scheme NAME        one of:", argv0);
+  for (const auto& [name, s] : scheme_map()) std::printf(" %s", name.c_str());
+  std::printf(
+      "\n"
+      "  --workload NAME      fb_hadoop | solar_rpc | alltoall\n"
+      "  --load F             Poisson target load (default 0.3)\n"
+      "  --tors N --leaves N --hosts-per-tor N   topology (4/2/4)\n"
+      "  --host-gbps F --fabric-gbps F           link speeds (10/10)\n"
+      "  --duration-ms N      simulated time (default 200)\n"
+      "  --workers N          alltoall workers (default 8)\n"
+      "  --flow-kb N          alltoall per-pair KB (default 512)\n"
+      "  --seed N             RNG seed (default 1)\n"
+      "  --csv PREFIX         dump CSVs with this path prefix\n"
+      "  --verbose            print the runtime series\n");
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--scheme") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const auto it = scheme_map().find(v);
+      if (it == scheme_map().end()) {
+        std::fprintf(stderr, "unknown scheme '%s'\n", v);
+        return false;
+      }
+      opt->scheme = it->second;
+    } else if (arg == "--workload") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->workload = v;
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->load = std::atof(v);
+    } else if (arg == "--tors") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->tors = std::atoi(v);
+    } else if (arg == "--leaves") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->leaves = std::atoi(v);
+    } else if (arg == "--hosts-per-tor") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->hosts_per_tor = std::atoi(v);
+    } else if (arg == "--host-gbps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->host_gbps = std::atof(v);
+    } else if (arg == "--fabric-gbps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->fabric_gbps = std::atof(v);
+    } else if (arg == "--duration-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->duration_ms = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->alltoall_workers = std::atoi(v);
+    } else if (arg == "--flow-kb") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->alltoall_kb = std::atoll(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->csv_prefix = v;
+    } else if (arg == "--verbose") {
+      opt->verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  ExperimentConfig cfg;
+  cfg.clos.n_tor = opt.tors;
+  cfg.clos.n_leaf = opt.leaves;
+  cfg.clos.hosts_per_tor = opt.hosts_per_tor;
+  cfg.clos.host_link = gbps(opt.host_gbps);
+  cfg.clos.fabric_link = gbps(opt.fabric_gbps);
+  cfg.clos.prop_delay = microseconds(2);
+  cfg.scheme = opt.scheme;
+  cfg.duration = milliseconds(opt.duration_ms);
+  cfg.seed = opt.seed;
+  cfg.controller.sa.total_iter_num = 5;
+  cfg.controller.sa.cooling_rate = 0.7;
+  cfg.controller.eval_mi_per_candidate = 2;
+  cfg.controller.episode_cooldown_mi = 30;
+  cfg.controller.steady_retrigger_mi = 40;
+  cfg.agent.ternary.tau_bytes =
+      static_cast<std::int64_t>((1 << 20) * (opt.host_gbps / 100.0));
+
+  Experiment exp(cfg);
+  const Time stop = milliseconds(opt.duration_ms) * 9 / 10;
+  if (opt.workload == "fb_hadoop" || opt.workload == "solar_rpc") {
+    workload::PoissonConfig w;
+    w.hosts = exp.all_hosts();
+    w.sizes = opt.workload == "fb_hadoop"
+                  ? &workload::fb_hadoop_distribution()
+                  : &workload::solar_rpc_distribution();
+    w.load = opt.load;
+    w.stop = stop;
+    w.seed = opt.seed + 1000;
+    exp.add_poisson(w);
+  } else if (opt.workload == "alltoall") {
+    workload::AlltoallConfig a2a;
+    const int n_hosts = opt.tors * opt.hosts_per_tor;
+    for (int i = 0; i < opt.alltoall_workers; ++i) {
+      a2a.workers.push_back(i * std::max(1, n_hosts / opt.alltoall_workers));
+    }
+    a2a.flow_size = opt.alltoall_kb * 1024;
+    a2a.off_period = milliseconds(1);
+    exp.add_alltoall(a2a);
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
+    return 1;
+  }
+
+  exp.run();
+
+  print_header("paraleon_cli: " + scheme_name(opt.scheme) + " on " +
+                   opt.workload,
+               "");
+  const auto mice = exp.fct().slowdowns(0, 1 << 20);
+  const auto eleph = exp.fct().slowdowns(1 << 20, 1ll << 40);
+  std::printf("flows: %zu started, %zu finished\n", exp.fct().started(),
+              exp.fct().finished());
+  std::printf("FCT slowdown: mice avg %.2f p99 %.2f | elephants avg %.2f "
+              "p99 %.2f\n",
+              stats::mean(mice), stats::quantile(mice, 0.99),
+              stats::mean(eleph), stats::quantile(eleph, 0.99));
+  std::printf("mean goodput: %.2f Gbps, mean RTT: %.1f us\n",
+              exp.throughput_series().mean_in(0, cfg.duration),
+              exp.rtt_series().mean_in(0, cfg.duration));
+  if (exp.controller() != nullptr) {
+    std::printf("tuning episodes: %llu (reverted %llu)\n",
+                static_cast<unsigned long long>(exp.controller()->episodes()),
+                static_cast<unsigned long long>(exp.controller()->reverts()));
+    std::printf("learned: %s\n",
+                dcqcn::to_string(exp.learned_params()).c_str());
+  }
+  if (opt.verbose) {
+    print_series("throughput (Gbps)", exp.throughput_series());
+    print_series("rtt (us)", exp.rtt_series());
+  }
+  if (!opt.csv_prefix.empty()) {
+    const bool ok =
+        stats::write_timeseries_csv(opt.csv_prefix + "_throughput.csv",
+                                    exp.throughput_series()) &&
+        stats::write_timeseries_csv(opt.csv_prefix + "_rtt.csv",
+                                    exp.rtt_series()) &&
+        stats::write_flows_csv(opt.csv_prefix + "_flows.csv",
+                               exp.fct().completed());
+    std::printf("CSV dump %s (prefix %s)\n", ok ? "written" : "FAILED",
+                opt.csv_prefix.c_str());
+    if (!ok) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "baselines/acc.hpp"
+
+#include <algorithm>
+
+namespace paraleon::baselines {
+
+namespace {
+constexpr double kKminLevels[3] = {32.0 * 1024, 100.0 * 1024, 400.0 * 1024};
+constexpr double kPmaxLevels[3] = {0.05, 0.2, 0.5};
+constexpr Rate kReferenceRate = 100e9;
+
+int bin4(double v) {
+  if (v < 0.25) return 0;
+  if (v < 0.5) return 1;
+  if (v < 0.75) return 2;
+  return 3;
+}
+}  // namespace
+
+AccAgent::AccAgent(sim::Simulator* sim, sim::SwitchNode* sw, Rate line_rate,
+                   const AccConfig& cfg)
+    : sim_(sim), sw_(sw), line_rate_(line_rate), cfg_(cfg), rng_(cfg.seed) {
+  last_tx_.assign(sw_->port_count(), 0);
+}
+
+void AccAgent::start() {
+  apply_action(action_);
+  state_ = state_index(observe());
+  sim_->schedule_in(cfg_.interval, [this] { tick(); });
+}
+
+AccAgent::Observation AccAgent::observe() {
+  Observation o;
+  o.buffer_frac = static_cast<double>(sw_->buffer_used()) /
+                  static_cast<double>(sw_->config().buffer_bytes);
+
+  const double mi_sec = to_sec(cfg_.interval);
+  double max_util = 0.0;
+  std::uint64_t pkts = 0;
+  for (int i = 0; i < sw_->port_count(); ++i) {
+    const auto& port = sw_->port(i);
+    const std::int64_t tx = port.tx_data_bytes();
+    const double util = static_cast<double>(tx - last_tx_[i]) * 8.0 /
+                        (port.rate() * mi_sec);
+    max_util = std::max(max_util, std::min(1.0, util));
+    last_tx_[i] = tx;
+    pkts += port.tx_data_packets();
+  }
+  o.max_util = max_util;
+
+  const std::uint64_t marks = sw_->ecn_marks();
+  const std::uint64_t dpkts = pkts - last_pkts_;
+  const std::uint64_t dmarks = marks - last_marks_;
+  o.mark_rate = dpkts == 0 ? 0.0
+                           : std::min(1.0, static_cast<double>(dmarks) /
+                                               static_cast<double>(dpkts));
+  last_marks_ = marks;
+  last_pkts_ = pkts;
+
+  const Time paused = sw_->total_paused_time();
+  o.pfc_frac = std::min(
+      1.0, static_cast<double>(paused - last_paused_) /
+               (static_cast<double>(cfg_.interval) *
+                std::max(1, sw_->port_count())));
+  last_paused_ = paused;
+  return o;
+}
+
+int AccAgent::state_index(const Observation& o) const {
+  return bin4(o.buffer_frac) * 16 + bin4(o.max_util) * 4 + bin4(o.mark_rate);
+}
+
+void AccAgent::apply_action(int action) {
+  const double scale = line_rate_ / kReferenceRate;
+  const double kmin = kKminLevels[action / 3] * scale;
+  sim::EcnConfig ecn;
+  ecn.kmin_bytes = std::max<std::int64_t>(
+      2048, static_cast<std::int64_t>(kmin));
+  ecn.kmax_bytes = 4 * ecn.kmin_bytes;
+  ecn.pmax = kPmaxLevels[action % 3];
+  sw_->set_ecn(ecn);
+  ++actions_taken_;
+}
+
+void AccAgent::tick() {
+  const Observation o = observe();
+
+  // Reward for the interval that just ran under (state_, action_).
+  const double reward = cfg_.w_util * o.max_util -
+                        cfg_.w_queue * o.buffer_frac -
+                        cfg_.w_pfc * o.pfc_frac;
+  last_reward_ = reward;
+
+  const int next_state = state_index(o);
+  const double best_next =
+      *std::max_element(q_[next_state].begin(), q_[next_state].end());
+  double& qv = q_[state_][action_];
+  qv += cfg_.lr * (reward + cfg_.discount * best_next - qv);
+
+  // Epsilon-greedy action for the next interval.
+  int next_action;
+  if (rng_.chance(cfg_.epsilon)) {
+    next_action = static_cast<int>(rng_.uniform_index(kNumActions));
+  } else {
+    next_action = static_cast<int>(
+        std::max_element(q_[next_state].begin(), q_[next_state].end()) -
+        q_[next_state].begin());
+  }
+  state_ = next_state;
+  action_ = next_action;
+  apply_action(next_action);
+
+  sim_->schedule_in(cfg_.interval, [this] { tick(); });
+}
+
+}  // namespace paraleon::baselines

@@ -1,0 +1,88 @@
+// ACC baseline (Yan et al., SIGCOMM'21): automatic ECN threshold tuning
+// with one reinforcement-learning agent per switch.
+//
+// The published system trains a Deep Double Q-network per switch over
+// local observations (port rate, ECN marking rate, queue length) and emits
+// (Kmin, Kmax, Pmax) updates. The closed-source network is substituted
+// here by a tabular Q-learning agent over the same discretised observation
+// space and an action set of ECN presets — preserving the behavioural
+// envelope the paper compares against: ECN-only actions, per-switch local
+// view, no RNIC parameters (see DESIGN.md, Substitutions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+#include "sim/switch_node.hpp"
+
+namespace paraleon::baselines {
+
+struct AccConfig {
+  Time interval = milliseconds(1);
+  double epsilon = 0.1;   // exploration rate
+  double lr = 0.3;        // Q-learning step size
+  double discount = 0.6;  // gamma
+  // Reward: utilisation minus queueing and PFC penalties (ACC §4.2 in
+  // spirit: keep throughput high and queues/pauses low).
+  double w_util = 1.0;
+  double w_queue = 0.5;
+  double w_pfc = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class AccAgent {
+ public:
+  /// `line_rate` scales the ECN presets (ACC's action set was designed for
+  /// a reference 100 Gbps fabric).
+  AccAgent(sim::Simulator* sim, sim::SwitchNode* sw, Rate line_rate,
+           const AccConfig& cfg);
+
+  /// Schedules the periodic observe-act loop.
+  void start();
+
+  int actions_taken() const { return actions_taken_; }
+  int current_action() const { return action_; }
+  double last_reward() const { return last_reward_; }
+
+  static constexpr int kNumActions = 9;  // 3 kmin levels x 3 pmax levels
+
+ private:
+  struct Observation {
+    double buffer_frac = 0.0;
+    double max_util = 0.0;
+    double mark_rate = 0.0;
+    double pfc_frac = 0.0;
+  };
+
+  void tick();
+  Observation observe();
+  int state_index(const Observation& o) const;
+  void apply_action(int action);
+
+  sim::Simulator* sim_;
+  sim::SwitchNode* sw_;
+  Rate line_rate_;
+  AccConfig cfg_;
+  Rng rng_;
+
+  // 4 bins each for buffer, utilisation, mark rate -> 64 states.
+  static constexpr int kNumStates = 64;
+  std::array<std::array<double, kNumActions>, kNumStates> q_{};
+
+  int state_ = 0;
+  int action_ = 4;  // start from the middle preset
+  int actions_taken_ = 0;
+  double last_reward_ = 0.0;
+
+  // Previous-interval counter snapshots.
+  std::vector<std::int64_t> last_tx_;
+  std::uint64_t last_marks_ = 0;
+  std::uint64_t last_pkts_ = 0;
+  Time last_paused_ = 0;
+};
+
+}  // namespace paraleon::baselines

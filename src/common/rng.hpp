@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component (workload arrivals, ECMP tie-breaks, SA
+// mutation, ...) owns an Rng seeded from the experiment seed, so a run is
+// reproducible bit-for-bit from its seed alone. The generator is
+// xoshiro256** (public domain, Blackman & Vigna): fast, 256-bit state, and
+// identical output on every platform, unlike std::mt19937 + distributions
+// whose std::uniform_* implementations vary across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace paraleon {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initialises the state from `seed` via splitmix64 so that nearby
+  /// seeds yield uncorrelated streams.
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derives an independent child stream; used to give each component its
+  /// own generator without manual seed bookkeeping.
+  Rng fork() { return Rng{next_u64()}; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace paraleon

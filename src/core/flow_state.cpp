@@ -1,0 +1,82 @@
+#include "core/flow_state.hpp"
+
+#include <algorithm>
+
+namespace paraleon::core {
+
+void TernaryClassifier::advance(
+    const std::vector<sketch::HeavyRecord>& records) {
+  ++intervals_;
+  active_last_interval_ = 0;
+
+  // Mark everything idle-for-this-interval first; records overwrite below.
+  for (auto& [id, e] : flows_) e.last_interval_bytes = 0;
+
+  for (const auto& rec : records) {
+    if (rec.bytes <= 0) continue;
+    flows_[rec.flow_id].last_interval_bytes = rec.bytes;
+  }
+
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    FlowEntry& e = it->second;
+    if (e.last_interval_bytes > 0) {
+      ++active_last_interval_;
+      e.phi += e.last_interval_bytes;
+      ++e.consecutive_active;
+      e.idle_intervals = 0;
+      if (e.phi >= cfg_.tau_bytes) {
+        e.state = FlowState::kElephant;
+      } else if (e.consecutive_active >= cfg_.delta) {
+        e.state = FlowState::kPotentialElephant;
+      } else {
+        e.state = FlowState::kMice;
+      }
+      ++it;
+    } else {
+      // Zero activity: the PE streak breaks (Fig. 4, f3); enough idle
+      // intervals mean the flow finished.
+      e.consecutive_active = 0;
+      ++e.idle_intervals;
+      if (e.state == FlowState::kPotentialElephant) {
+        e.state = FlowState::kMice;
+      }
+      if (e.idle_intervals >= cfg_.evict_after_idle) {
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+const FlowEntry* TernaryClassifier::find(std::uint64_t flow_id) const {
+  const auto it = flows_.find(flow_id);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+double TernaryClassifier::elephant_likelihood(const FlowEntry& e,
+                                              const TernaryConfig& cfg) {
+  switch (e.state) {
+    case FlowState::kElephant:
+      return 1.0;
+    case FlowState::kPotentialElephant:
+      return std::min(1.0, static_cast<double>(e.phi) /
+                               static_cast<double>(cfg.tau_bytes));
+    case FlowState::kMice:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double TernaryClassifier::elephant_likelihood(std::uint64_t flow_id) const {
+  const FlowEntry* e = find(flow_id);
+  return e == nullptr ? 0.0 : elephant_likelihood(*e, cfg_);
+}
+
+std::size_t TernaryClassifier::memory_bytes() const {
+  // Hash-map node: entry + key + bucket overhead (approximation).
+  return flows_.size() * (sizeof(FlowEntry) + sizeof(std::uint64_t) + 16) +
+         sizeof(*this);
+}
+
+}  // namespace paraleon::core

@@ -1,0 +1,80 @@
+// Ternary flow-state machine with sliding-window updates (§III-B
+// Keypoint 2, Figs. 3 and 4).
+//
+// Naive per-interval classification misidentifies elephants that are
+// throttled (or freshly arrived) inside one millisecond-level monitor
+// interval. PARALEON instead tracks each flow across intervals:
+//   - Elephant (E):            cumulative bytes Phi(f) >= tau
+//   - Potential elephant (PE): Phi(f) < tau but the flow stayed active for
+//                              at least `delta` consecutive intervals
+//   - Mice (M):                Phi(f) < tau, active for fewer than `delta`
+// A zero-activity interval breaks the PE streak (Fig. 4, f3 at MI8), and a
+// flow idle for `evict_after_idle` intervals is dropped (finished).
+// A PE flow contributes elephant-likelihood min(1, Phi(f)/tau) to the flow
+// size distribution, refined as intervals elapse.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/elastic_sketch.hpp"  // HeavyRecord
+
+namespace paraleon::core {
+
+enum class FlowState : std::uint8_t { kMice, kPotentialElephant, kElephant };
+
+struct TernaryConfig {
+  /// Elephant threshold tau (paper default: 1 MB).
+  std::int64_t tau_bytes = 1 << 20;
+  /// Sliding-window size delta in monitor intervals (paper default: 3).
+  int delta = 3;
+  /// Idle intervals before a flow is considered finished and evicted.
+  int evict_after_idle = 3;
+};
+
+struct FlowEntry {
+  std::int64_t phi = 0;  // cumulative bytes since first seen
+  std::int64_t last_interval_bytes = 0;
+  int consecutive_active = 0;
+  int idle_intervals = 0;
+  FlowState state = FlowState::kMice;
+};
+
+class TernaryClassifier {
+ public:
+  explicit TernaryClassifier(const TernaryConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Advances one monitor interval with the per-flow byte counts read from
+  /// the sketch. Tracked flows absent from `records` count as idle.
+  void advance(const std::vector<sketch::HeavyRecord>& records);
+
+  const FlowEntry* find(std::uint64_t flow_id) const;
+
+  /// E -> 1, PE -> min(1, Phi/tau), M -> 0.
+  double elephant_likelihood(std::uint64_t flow_id) const;
+  static double elephant_likelihood(const FlowEntry& e,
+                                    const TernaryConfig& cfg);
+
+  /// Flows currently tracked (not yet evicted).
+  std::size_t tracked_flows() const { return flows_.size(); }
+  /// Flows with activity in the last interval.
+  std::size_t active_flows() const { return active_last_interval_; }
+
+  const std::unordered_map<std::uint64_t, FlowEntry>& entries() const {
+    return flows_;
+  }
+  const TernaryConfig& config() const { return cfg_; }
+  std::uint64_t intervals_seen() const { return intervals_; }
+
+  /// Approximate resident memory (Table IV switch control-plane row).
+  std::size_t memory_bytes() const;
+
+ private:
+  TernaryConfig cfg_;
+  std::unordered_map<std::uint64_t, FlowEntry> flows_;
+  std::size_t active_last_interval_ = 0;
+  std::uint64_t intervals_ = 0;
+};
+
+}  // namespace paraleon::core

@@ -1,0 +1,80 @@
+#include "core/fsd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paraleon::core {
+
+std::size_t fsd_bucket(std::int64_t bytes) {
+  if (bytes < 1024) return 0;
+  std::size_t b = 0;
+  std::int64_t threshold = 1024;
+  while (b + 1 < kFsdBuckets && bytes >= threshold) {
+    ++b;
+    threshold <<= 1;
+  }
+  return b;
+}
+
+void FsdBuilder::add_flow(std::int64_t bytes, double elephant_likelihood) {
+  counts[fsd_bucket(bytes)] += 1.0;
+  elephant_mass_ += elephant_likelihood;
+  flows_ += 1.0;
+}
+
+void FsdBuilder::merge(const Fsd& other) {
+  if (other.active_flows <= 0.0) return;
+  for (std::size_t i = 0; i < kFsdBuckets; ++i) {
+    counts[i] += other.probs[i] * other.active_flows;
+  }
+  elephant_mass_ += other.elephant_share * other.active_flows;
+  flows_ += other.active_flows;
+}
+
+Fsd FsdBuilder::build() const {
+  Fsd out;
+  out.active_flows = flows_;
+  if (flows_ <= 0.0) return out;
+  for (std::size_t i = 0; i < kFsdBuckets; ++i) {
+    out.probs[i] = counts[i] / flows_;
+  }
+  out.elephant_share = elephant_mass_ / flows_;
+  return out;
+}
+
+double kl_divergence(const Fsd& p, const Fsd& q) {
+  if (p.active_flows <= 0.0 && q.active_flows <= 0.0) return 0.0;
+  constexpr double kEps = 1e-4;
+  double sum_p = 0.0;
+  double sum_q = 0.0;
+  std::array<double, kFsdBuckets> sp{};
+  std::array<double, kFsdBuckets> sq{};
+  for (std::size_t i = 0; i < kFsdBuckets; ++i) {
+    sp[i] = p.probs[i] + kEps;
+    sq[i] = q.probs[i] + kEps;
+    sum_p += sp[i];
+    sum_q += sq[i];
+  }
+  double kl = 0.0;
+  for (std::size_t i = 0; i < kFsdBuckets; ++i) {
+    const double pi = sp[i] / sum_p;
+    const double qi = sq[i] / sum_q;
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+double fsd_accuracy(const Fsd& estimated, const Fsd& truth) {
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < kFsdBuckets; ++i) {
+    l1 += std::abs(estimated.probs[i] - truth.probs[i]);
+  }
+  const double hist_acc = 1.0 - 0.5 * l1;
+  const double share_acc =
+      1.0 - std::abs(estimated.elephant_share - truth.elephant_share);
+  // Equal blend: the histogram captures where mass sits, the share
+  // captures the binary classification the SA guidance consumes.
+  return std::clamp(0.5 * hist_acc + 0.5 * share_acc, 0.0, 1.0);
+}
+
+}  // namespace paraleon::core

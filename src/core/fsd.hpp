@@ -1,0 +1,64 @@
+// Flow size distributions and the KL-divergence tuning trigger (§III-A).
+//
+// An Fsd is (a) a normalised histogram of estimated flow sizes over log2
+// buckets — the signal whose successive KL divergence triggers tuning — and
+// (b) the likelihood-weighted elephant share that steers the SA's guided
+// randomness (the dominant flow type and its proportion mu).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace paraleon::core {
+
+/// Log2 size buckets: [0, 1KB), [1KB, 2KB), ... [4MB, +inf). 14 buckets.
+inline constexpr std::size_t kFsdBuckets = 14;
+
+/// Bucket index for a flow of `bytes`.
+std::size_t fsd_bucket(std::int64_t bytes);
+
+struct Fsd {
+  /// Per-bucket probability over active flows; sums to 1 when
+  /// active_flows > 0, all-zero otherwise.
+  std::array<double, kFsdBuckets> probs{};
+  /// Likelihood-weighted fraction of active flows that are elephants.
+  double elephant_share = 0.0;
+  double active_flows = 0.0;
+
+  /// Dominant flow type proportion mu of Algorithm 1: max of the elephant
+  /// and mice shares.
+  double dominant_mu() const {
+    return elephant_share >= 0.5 ? elephant_share : 1.0 - elephant_share;
+  }
+  bool elephants_dominant() const { return elephant_share >= 0.5; }
+};
+
+/// Accumulates per-flow observations (locally at an agent, or aggregating
+/// agent histograms at the controller) and normalises into an Fsd.
+class FsdBuilder {
+ public:
+  /// One active flow with estimated size `bytes` and elephant likelihood.
+  void add_flow(std::int64_t bytes, double elephant_likelihood);
+  /// Merges another agent's already-built distribution, weighted by its
+  /// active flow count (controller-side layered aggregation, Fig. 2).
+  void merge(const Fsd& other);
+  Fsd build() const;
+
+ private:
+  std::array<double, kFsdBuckets> counts{};
+  double elephant_mass_ = 0.0;
+  double flows_ = 0.0;
+};
+
+/// Smoothed Kullback-Leibler divergence KL(p || q) over the histograms.
+/// Both distributions get Laplace smoothing so the value is always finite;
+/// two empty distributions have divergence 0.
+double kl_divergence(const Fsd& p, const Fsd& q);
+
+/// Similarity of two distributions as used for the Fig. 10/11 "FSD
+/// accuracy": 1 - 0.5 * L1 distance between the estimated and true
+/// histograms, further penalised by the elephant-share error. In [0, 1].
+double fsd_accuracy(const Fsd& estimated, const Fsd& truth);
+
+}  // namespace paraleon::core

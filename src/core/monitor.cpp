@@ -1,0 +1,168 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+
+namespace paraleon::core {
+
+SwitchAgent::SwitchAgent(const AgentConfig& cfg, DrainFn drain)
+    : cfg_(cfg), drain_(std::move(drain)), classifier_(cfg.ternary) {}
+
+void SwitchAgent::on_monitor_interval() {
+  const auto t0 = std::chrono::steady_clock::now();
+  ++mi_count_;
+  if (cfg_.mode == AgentConfig::Mode::kTernaryWindow) {
+    classifier_.advance(drain_());
+  } else {
+    // Per-interval baseline: refresh on export ticks, stay stale between.
+    if (mi_count_ % cfg_.export_every_mi == 0) {
+      last_export_ = drain_();
+    }
+  }
+  cpu_seconds_ += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+}
+
+Fsd SwitchAgent::local_fsd() const {
+  FsdBuilder builder;
+  // Sizes are clamped at 2*tau: every elephant lands in one bucket, so a
+  // long-lived QP's ever-growing byte count does not keep marching the
+  // histogram through buckets (which would fake KL-divergence "shifts" on
+  // perfectly steady traffic).
+  const std::int64_t cap = 2 * cfg_.ternary.tau_bytes;
+  if (cfg_.mode == AgentConfig::Mode::kTernaryWindow) {
+    for (const auto& [id, e] : classifier_.entries()) {
+      builder.add_flow(
+          std::min(e.phi, cap),
+          TernaryClassifier::elephant_likelihood(e, cfg_.ternary));
+    }
+  } else {
+    const std::int64_t tau = cfg_.ternary.tau_bytes;
+    for (const auto& rec : last_export_) {
+      builder.add_flow(std::min(rec.bytes, cap),
+                       rec.bytes >= tau ? 1.0 : 0.0);
+    }
+  }
+  return builder.build();
+}
+
+double SwitchAgent::elephant_likelihood(std::uint64_t flow_id) const {
+  if (cfg_.mode == AgentConfig::Mode::kTernaryWindow) {
+    return classifier_.elephant_likelihood(flow_id);
+  }
+  const std::int64_t tau = cfg_.ternary.tau_bytes;
+  for (const auto& rec : last_export_) {
+    if (rec.flow_id == flow_id) return rec.bytes >= tau ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+std::size_t SwitchAgent::upload_bytes() const {
+  // Histogram (double per bucket) + elephant mass + active count + PFC and
+  // throughput scalars + message header.
+  return kFsdBuckets * sizeof(double) + 2 * sizeof(double) +
+         2 * sizeof(double) + 16;
+}
+
+std::size_t SwitchAgent::memory_bytes() const {
+  return classifier_.memory_bytes() +
+         last_export_.capacity() * sizeof(sketch::HeavyRecord);
+}
+
+MetricCollector::MetricCollector(sim::ClosTopology* topo, MonitorScope scope)
+    : topo_(topo) {
+  if (scope.hosts.empty()) {
+    for (int h = 0; h < topo_->host_count(); ++h) hosts_.push_back(h);
+  } else {
+    hosts_ = std::move(scope.hosts);
+  }
+  if (scope.tors.empty() && scope.is_full()) {
+    for (int t = 0; t < topo_->tor_count(); ++t) tors_.push_back(t);
+  } else {
+    tors_ = std::move(scope.tors);
+  }
+  if (scope.include_leaves) {
+    for (int l = 0; l < topo_->leaf_count(); ++l) leaves_.push_back(l);
+  }
+  last_host_tx_.assign(hosts_.size(), 0);
+  last_host_paused_.assign(hosts_.size(), 0);
+  last_tor_paused_.assign(tors_.size(), 0);
+  last_leaf_paused_.assign(leaves_.size(), 0);
+}
+
+NetworkMetrics MetricCollector::collect(Time mi) {
+  NetworkMetrics m;
+  const double mi_sec = to_sec(mi);
+  const Rate host_rate = topo_->config().host_link;
+
+  // O_TP: utilisation of active uplinks; total goodput for the series.
+  // "Active" means the host still has flows wanting to send — uplinks that
+  // merely carried a mouse that already finished would dilute the signal
+  // with demand-limited (not parameter-limited) utilisation.
+  double util_sum = 0.0;
+  int active_links = 0;
+  double total_bits = 0.0;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    auto& host = topo_->host(hosts_[i]);
+    const std::int64_t tx = host.uplink().tx_data_bytes();
+    const std::int64_t delta = tx - last_host_tx_[i];
+    last_host_tx_[i] = tx;
+    total_bits += static_cast<double>(delta) * 8.0;
+    if (host.has_active_tx()) {
+      util_sum += std::min(
+          1.0, static_cast<double>(delta) * 8.0 / (host_rate * mi_sec));
+      ++active_links;
+    }
+  }
+  m.o_tp = active_links == 0 ? 0.0 : util_sum / active_links;
+  m.total_tx_gbps = total_bits / mi_sec / 1e9;
+
+  // O_RTT: normalised RTT samples drained from every scoped RNIC.
+  double norm_sum = 0.0;
+  std::uint64_t norm_n = 0;
+  double raw_sum = 0.0;
+  std::uint64_t raw_n = 0;
+  for (int h : hosts_) {
+    const auto [ns, nc] = topo_->host(h).drain_rtt_norm_samples();
+    norm_sum += ns;
+    norm_n += nc;
+    const auto [rs, rc] = topo_->host(h).drain_rtt_raw_samples();
+    raw_sum += rs;
+    raw_n += rc;
+  }
+  m.o_rtt = norm_n == 0 ? 1.0 : norm_sum / static_cast<double>(norm_n);
+  m.avg_rtt_us =
+      raw_n == 0 ? 0.0 : raw_sum / static_cast<double>(raw_n) / 1e3;
+
+  // O_PFC: 1 - mean per-device pause fraction.
+  double pause_frac_sum = 0.0;
+  int devices = 0;
+  const auto add_device = [&](Time paused, Time last, int ports) {
+    const Time delta = paused - last;
+    pause_frac_sum +=
+        std::min(1.0, static_cast<double>(delta) /
+                          (static_cast<double>(mi) * std::max(1, ports)));
+    ++devices;
+  };
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const Time paused = topo_->host(hosts_[i]).uplink().paused_time();
+    add_device(paused, last_host_paused_[i], 1);
+    last_host_paused_[i] = paused;
+  }
+  for (std::size_t i = 0; i < tors_.size(); ++i) {
+    auto& sw = topo_->tor(tors_[i]);
+    const Time paused = sw.total_paused_time();
+    add_device(paused, last_tor_paused_[i], sw.port_count());
+    last_tor_paused_[i] = paused;
+  }
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    auto& sw = topo_->leaf(leaves_[i]);
+    const Time paused = sw.total_paused_time();
+    add_device(paused, last_leaf_paused_[i], sw.port_count());
+    last_leaf_paused_[i] = paused;
+  }
+  m.o_pfc = devices == 0 ? 1.0 : 1.0 - pause_frac_sum / devices;
+  return m;
+}
+
+}  // namespace paraleon::core

@@ -1,0 +1,120 @@
+// Runtime Metric Monitor (§III-B): per-switch control-plane agents that
+// read+reset the data-plane sketch each monitor interval and maintain flow
+// states, plus the controller-side collector for throughput / RTT / PFC.
+//
+// The agent is generic over its measurement source (Elastic Sketch,
+// NetFlow, exact table) via a drain callback, so the Fig. 10 monitoring
+// comparison swaps sources without touching the pipeline. Two modes:
+//   kTernaryWindow — PARALEON: sliding-window ternary flow states.
+//   kPerInterval   — baselines: classify from the latest export only
+//                    (naive Elastic Sketch each MI, NetFlow every
+//                    `export_every_mi` MIs with stale data in between).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/flow_state.hpp"
+#include "core/fsd.hpp"
+#include "sim/topology.hpp"
+
+namespace paraleon::core {
+
+struct AgentConfig {
+  enum class Mode { kTernaryWindow, kPerInterval };
+  Mode mode = Mode::kTernaryWindow;
+  TernaryConfig ternary;
+  /// Drain the source every N monitor intervals (NetFlow: O(seconds)).
+  int export_every_mi = 1;
+};
+
+class SwitchAgent {
+ public:
+  /// `drain` reads and resets the measurement source, returning per-flow
+  /// byte counts accumulated since the previous drain.
+  using DrainFn = std::function<std::vector<sketch::HeavyRecord>()>;
+
+  SwitchAgent(const AgentConfig& cfg, DrainFn drain);
+
+  /// One monitor-interval tick of the control plane.
+  void on_monitor_interval();
+
+  /// Local flow size distribution uploaded to the controller.
+  Fsd local_fsd() const;
+
+  /// Estimated elephant likelihood of one flow (accuracy evaluation).
+  double elephant_likelihood(std::uint64_t flow_id) const;
+
+  /// Size in bytes of the per-MI upload message (Table IV accounting):
+  /// the bucket histogram, elephant mass, active count and header.
+  std::size_t upload_bytes() const;
+
+  /// Wall-clock CPU time spent in control-plane processing so far.
+  double cpu_seconds() const { return cpu_seconds_; }
+  std::size_t memory_bytes() const;
+
+  const TernaryClassifier& classifier() const { return classifier_; }
+  const AgentConfig& config() const { return cfg_; }
+
+ private:
+  AgentConfig cfg_;
+  DrainFn drain_;
+  TernaryClassifier classifier_;
+  std::vector<sketch::HeavyRecord> last_export_;  // kPerInterval mode
+  int mi_count_ = 0;
+  double cpu_seconds_ = 0.0;
+};
+
+/// Network-wide utility-function inputs for one monitor interval, plus the
+/// raw series the runtime plots report.
+struct NetworkMetrics {
+  double o_tp = 0.0;   // mean active-uplink utilisation, [0, 1]
+  double o_rtt = 1.0;  // mean base/runtime RTT over sampled pairs, (0, 1]
+  double o_pfc = 1.0;  // 1 - mean pause fraction per device, [0, 1]
+  double avg_rtt_us = 0.0;      // raw mean RTT (Figs. 8/14 latency series)
+  double total_tx_gbps = 0.0;   // aggregate goodput (throughput series)
+};
+
+/// Restricts monitoring and parameter dispatch to a subset of the fabric —
+/// the per-cluster controllers of §V ("PARALEON for large-scale
+/// environment"). Empty vectors mean "all".
+struct MonitorScope {
+  std::vector<int> hosts;
+  std::vector<int> tors;
+  /// Whether the scope covers the shared leaf/spine layer (a pod-local
+  /// controller typically does not own the spine).
+  bool include_leaves = true;
+
+  bool is_full() const { return hosts.empty() && tors.empty(); }
+};
+
+/// Reads per-device counters from the topology and produces per-interval
+/// deltas. Models the switch/RNIC agents uploading throughput, RTT and PFC
+/// (Fig. 2, pink path).
+class MetricCollector {
+ public:
+  explicit MetricCollector(sim::ClosTopology* topo,
+                           MonitorScope scope = {});
+
+  /// Collects the interval that just ended (length `mi`).
+  NetworkMetrics collect(Time mi);
+
+  const std::vector<int>& hosts() const { return hosts_; }
+  const std::vector<int>& tors() const { return tors_; }
+  const std::vector<int>& leaves() const { return leaves_; }
+
+ private:
+  sim::ClosTopology* topo_;
+  std::vector<int> hosts_;   // resolved host ids in scope
+  std::vector<int> tors_;    // resolved ToR indices in scope
+  std::vector<int> leaves_;  // resolved leaf indices in scope
+  std::vector<std::int64_t> last_host_tx_;
+  std::vector<Time> last_host_paused_;
+  std::vector<Time> last_tor_paused_;
+  std::vector<Time> last_leaf_paused_;
+};
+
+}  // namespace paraleon::core

@@ -1,0 +1,146 @@
+#include "core/param_space.hpp"
+
+#include <algorithm>
+
+namespace paraleon::core {
+
+namespace {
+using dcqcn::DcqcnParams;
+}  // namespace
+
+ParamSpace ParamSpace::standard(Rate line_rate, std::int64_t buffer_bytes) {
+  ParamSpace s(line_rate, buffer_bytes);
+  const double buf = static_cast<double>(buffer_bytes);
+
+  // Rate-valued RP parameters scale with the line rate so the same space
+  // serves the scaled-down bench fabrics. Directions follow §III-C: more
+  // aggressive increase / later & rarer marking => throughput-friendly.
+  s.params_ = {
+      {"ai_rate",
+       [](const DcqcnParams& p) { return static_cast<double>(p.ai_rate); },
+       [](DcqcnParams& p, double v) { p.ai_rate = v; },
+       line_rate * 1e-5, line_rate * 2e-2, line_rate * 5e-4, +1},
+      {"hai_rate",
+       [](const DcqcnParams& p) { return static_cast<double>(p.hai_rate); },
+       [](DcqcnParams& p, double v) { p.hai_rate = v; },
+       line_rate * 1e-4, line_rate * 5e-2, line_rate * 2e-3, +1},
+      {"rpg_time_reset",
+       [](const DcqcnParams& p) {
+         return static_cast<double>(p.rpg_time_reset);
+       },
+       [](DcqcnParams& p, double v) { p.rpg_time_reset = static_cast<Time>(v); },
+       static_cast<double>(microseconds(10)),
+       static_cast<double>(microseconds(2000)),
+       static_cast<double>(microseconds(50)), -1},
+      {"rpg_byte_reset",
+       [](const DcqcnParams& p) {
+         return static_cast<double>(p.rpg_byte_reset);
+       },
+       [](DcqcnParams& p, double v) {
+         p.rpg_byte_reset = static_cast<std::int64_t>(v);
+       },
+       4096.0, 4.0 * 1024 * 1024, 16384.0, -1},
+      {"rate_reduce_monitor_period",
+       [](const DcqcnParams& p) {
+         return static_cast<double>(p.rate_reduce_monitor_period);
+       },
+       [](DcqcnParams& p, double v) {
+         p.rate_reduce_monitor_period = static_cast<Time>(v);
+       },
+       static_cast<double>(microseconds(1)),
+       static_cast<double>(microseconds(500)),
+       static_cast<double>(microseconds(10)), +1},
+      {"alpha_update_period",
+       [](const DcqcnParams& p) {
+         return static_cast<double>(p.alpha_update_period);
+       },
+       [](DcqcnParams& p, double v) {
+         p.alpha_update_period = static_cast<Time>(v);
+       },
+       static_cast<double>(microseconds(5)),
+       static_cast<double>(microseconds(500)),
+       static_cast<double>(microseconds(10)), -1},
+      {"g",
+       [](const DcqcnParams& p) { return p.g; },
+       [](DcqcnParams& p, double v) { p.g = v; },
+       1.0 / 1024.0, 0.5, 1.0 / 128.0, -1},
+      {"min_time_between_cnps",
+       [](const DcqcnParams& p) {
+         return static_cast<double>(p.min_time_between_cnps);
+       },
+       [](DcqcnParams& p, double v) {
+         p.min_time_between_cnps = static_cast<Time>(v);
+       },
+       static_cast<double>(microseconds(1)),
+       static_cast<double>(microseconds(500)),
+       static_cast<double>(microseconds(10)), +1},
+      // ECN thresholds are BDP-coupled: their useful range is a few
+      // hundred microseconds of line-rate queueing (the expert Table I
+      // values sit around 30/130 us of 400G), never the whole shared
+      // buffer — a buffer-scaled kmax would legalise multi-millisecond
+      // queues. Bounds and steps are expressed in line-rate time and
+      // capped by the buffer.
+      {"kmin",
+       [](const DcqcnParams& p) {
+         return static_cast<double>(p.kmin_bytes);
+       },
+       [](DcqcnParams& p, double v) {
+         p.kmin_bytes = static_cast<std::int64_t>(v);
+       },
+       8.0 * 1024,
+       std::min(buf * 0.5, static_cast<double>(bytes_in(microseconds(400),
+                                                        line_rate))),
+       static_cast<double>(bytes_in(microseconds(25), line_rate)), +1},
+      {"kmax",
+       [](const DcqcnParams& p) {
+         return static_cast<double>(p.kmax_bytes);
+       },
+       [](DcqcnParams& p, double v) {
+         p.kmax_bytes = static_cast<std::int64_t>(v);
+       },
+       16.0 * 1024,
+       std::min(buf * 0.8, static_cast<double>(bytes_in(microseconds(1600),
+                                                        line_rate))),
+       static_cast<double>(bytes_in(microseconds(100), line_rate)), +1},
+      {"pmax",
+       [](const DcqcnParams& p) { return p.pmax; },
+       [](DcqcnParams& p, double v) { p.pmax = v; },
+       0.01, 1.0, 0.05, -1},
+  };
+  return s;
+}
+
+void ParamSpace::finish(dcqcn::DcqcnParams& p) const {
+  dcqcn::clamp_to_legal(p, line_rate_, buffer_bytes_);
+}
+
+dcqcn::DcqcnParams ParamSpace::mutate_guided(const dcqcn::DcqcnParams& base,
+                                             double p_throughput,
+                                             Rng& rng) const {
+  dcqcn::DcqcnParams out = base;
+  for (const auto& tp : params_) {
+    const double step = tp.step * rng.uniform(0.5, 1.0);
+    const int dir = rng.chance(p_throughput) ? tp.throughput_direction
+                                             : -tp.throughput_direction;
+    const double v =
+        std::clamp(tp.get(out) + dir * step, tp.lo, tp.hi);
+    tp.set(out, v);
+  }
+  finish(out);
+  return out;
+}
+
+dcqcn::DcqcnParams ParamSpace::mutate_naive(const dcqcn::DcqcnParams& base,
+                                            Rng& rng) const {
+  dcqcn::DcqcnParams out = base;
+  for (const auto& tp : params_) {
+    const double step = rng.uniform() * (tp.hi - tp.lo) * 0.25;
+    const int dir = rng.chance(0.5) ? +1 : -1;
+    const double v = std::clamp(tp.get(out) + dir * step, tp.lo, tp.hi);
+    tp.set(out, v);
+  }
+  finish(out);
+  return out;
+}
+
+}  // namespace paraleon::core

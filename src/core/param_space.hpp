@@ -1,0 +1,66 @@
+// The tunable DCQCN parameter space with the empirical single-parameter
+// impact directions of §III-C.
+//
+// Each parameter carries a throughput-friendly direction (the sign of the
+// change that favours throughput over delay, per the Fig. 5 observations),
+// an empirical step s_p, and legal bounds. Guided mutation implements
+// Algorithm 1 lines 14-22: each parameter moves in the dominant-friendly
+// direction with probability min(mu, eta), with step s_p * rand(0.5, 1).
+// Naive mutation (the Fig. 12 ablation baseline) picks directions 50/50
+// with large unguided steps over the whole range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "dcqcn/params.hpp"
+
+namespace paraleon::core {
+
+struct TunableParam {
+  std::string name;
+  double (*get)(const dcqcn::DcqcnParams&);
+  void (*set)(dcqcn::DcqcnParams&, double);
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 0.0;  // empirical step s_p
+  /// +1 if increasing the value is throughput-friendly, -1 otherwise.
+  int throughput_direction = +1;
+};
+
+class ParamSpace {
+ public:
+  /// The full 11-parameter space of Table I plus the remaining RP knobs,
+  /// with rate/queue bounds scaled to the fabric's line rate and buffer.
+  static ParamSpace standard(Rate line_rate, std::int64_t buffer_bytes);
+
+  const std::vector<TunableParam>& params() const { return params_; }
+
+  /// Guided mutation: `p_throughput` is the per-parameter probability of
+  /// moving in the throughput-friendly direction (min(mu, eta) when
+  /// elephants dominate, 1 - min(mu, eta) otherwise).
+  dcqcn::DcqcnParams mutate_guided(const dcqcn::DcqcnParams& base,
+                                   double p_throughput, Rng& rng) const;
+
+  /// Unguided mutation of naive SA: random direction, step uniform in
+  /// (0, (hi - lo) / 4].
+  dcqcn::DcqcnParams mutate_naive(const dcqcn::DcqcnParams& base,
+                                  Rng& rng) const;
+
+  Rate line_rate() const { return line_rate_; }
+  std::int64_t buffer_bytes() const { return buffer_bytes_; }
+
+ private:
+  ParamSpace(Rate line_rate, std::int64_t buffer_bytes)
+      : line_rate_(line_rate), buffer_bytes_(buffer_bytes) {}
+  void finish(dcqcn::DcqcnParams& p) const;
+
+  std::vector<TunableParam> params_;
+  Rate line_rate_ = 0.0;
+  std::int64_t buffer_bytes_ = 0;
+};
+
+}  // namespace paraleon::core

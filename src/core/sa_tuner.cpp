@@ -1,0 +1,87 @@
+#include "core/sa_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paraleon::core {
+
+SaTuner::SaTuner(ParamSpace space, const SaConfig& cfg, std::uint64_t seed)
+    : space_(std::move(space)), cfg_(cfg), rng_(seed) {}
+
+void SaTuner::begin_episode(const dcqcn::DcqcnParams& current) {
+  active_ = true;
+  first_step_ = true;
+  temp_ = cfg_.initial_temp;
+  iter_in_temp_ = 0;
+  ++episodes_;
+  current_solution_ = current;
+  candidate_ = current;
+  best_solution_ = current;
+  // Utilities are refreshed from the first measurement.
+  current_util_ = 0.0;
+  best_util_ = 0.0;
+}
+
+dcqcn::DcqcnParams SaTuner::kick(const dcqcn::DcqcnParams& from,
+                                 double elephant_share, int steps) {
+  const bool elephants = elephant_share >= 0.5;
+  const double mu = elephants ? elephant_share : 1.0 - elephant_share;
+  const double p_dominant = std::min(mu, cfg_.eta);
+  const double p_throughput = elephants ? p_dominant : 1.0 - p_dominant;
+  dcqcn::DcqcnParams out = from;
+  for (int i = 0; i < steps; ++i) {
+    out = space_.mutate_guided(out, p_throughput, rng_);
+  }
+  return out;
+}
+
+dcqcn::DcqcnParams SaTuner::mutate(double elephant_share) {
+  if (!cfg_.guided) return space_.mutate_naive(current_solution_, rng_);
+  // Algorithm 1 lines 14-22: dominant direction with prob min(mu, eta).
+  const bool elephants = elephant_share >= 0.5;
+  const double mu = elephants ? elephant_share : 1.0 - elephant_share;
+  const double p_dominant = std::min(mu, cfg_.eta);
+  const double p_throughput = elephants ? p_dominant : 1.0 - p_dominant;
+  return space_.mutate_guided(current_solution_, p_throughput, rng_);
+}
+
+dcqcn::DcqcnParams SaTuner::step(double measured_utility,
+                                 double elephant_share) {
+  if (!active_) return best_solution_;
+
+  if (first_step_) {
+    // The measurement belongs to the pre-episode setting: seed the state.
+    first_step_ = false;
+    current_util_ = measured_utility;
+    best_util_ = measured_utility;
+  } else {
+    // Metropolis acceptance for the last candidate (Algorithm 1, lines
+    // 6-13).
+    const double delta = measured_utility - current_util_;
+    const double accept_temp =
+        std::max(1e-9, temp_ * cfg_.acceptance_temp_scale);
+    if (delta > 0.0 || std::exp(delta / accept_temp) > rng_.uniform()) {
+      current_util_ = measured_utility;
+      current_solution_ = candidate_;
+    }
+    if (current_util_ > best_util_) {
+      best_util_ = current_util_;
+      best_solution_ = current_solution_;
+    }
+    ++iter_in_temp_;
+    ++total_iterations_;
+    if (iter_in_temp_ >= cfg_.total_iter_num) {
+      iter_in_temp_ = 0;
+      temp_ *= cfg_.cooling_rate;
+      if (temp_ < cfg_.final_temp) {
+        active_ = false;
+        return best_solution_;
+      }
+    }
+  }
+
+  candidate_ = mutate(elephant_share);
+  return candidate_;
+}
+
+}  // namespace paraleon::core

@@ -1,0 +1,28 @@
+// The network-wide utility function of Equation (1):
+//   U = w_TP * O_TP + w_RTT * O_RTT + w_PFC * O_PFC
+// All three objectives are normalised to [0, 1] by the monitor, so U is in
+// [0, 1]; the SA tuner works on U * 100 to match the paper's temperature
+// scale (initial 90, final 10).
+#pragma once
+
+#include "core/monitor.hpp"
+
+namespace paraleon::core {
+
+struct UtilityWeights {
+  double tp = 0.2;
+  double rtt = 0.5;
+  double pfc = 0.3;  // paper Table III defaults
+
+  /// Throughput-leaning preset the paper suggests for LLM training.
+  static UtilityWeights throughput_sensitive() { return {0.5, 0.2, 0.3}; }
+};
+
+inline double utility(const NetworkMetrics& m, const UtilityWeights& w) {
+  return w.tp * m.o_tp + w.rtt * m.o_rtt + w.pfc * m.o_pfc;
+}
+
+/// The scale factor applied before feeding U into the SA acceptance test.
+inline constexpr double kUtilityScale = 100.0;
+
+}  // namespace paraleon::core

@@ -1,0 +1,103 @@
+#include "dcqcn/params.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace paraleon::dcqcn {
+
+DcqcnParams default_params() { return DcqcnParams{}; }
+
+DcqcnParams expert_params() {
+  DcqcnParams p;
+  p.ai_rate = mbps(50);
+  p.hai_rate = mbps(150);
+  p.rate_reduce_monitor_period = microseconds(80);
+  p.min_time_between_cnps = microseconds(96);
+  p.kmin_bytes = 1600 * 1024;
+  p.kmax_bytes = 6400 * 1024;
+  p.pmax = 0.2;
+  return p;
+}
+
+DcqcnParams scaled_for_line_rate(const DcqcnParams& p, Rate reference,
+                                 Rate line_rate) {
+  const double f = line_rate / reference;
+  DcqcnParams s = p;
+  s.ai_rate = p.ai_rate * f;
+  s.hai_rate = p.hai_rate * f;
+  s.min_rate = p.min_rate * f;
+  s.kmin_bytes = static_cast<std::int64_t>(p.kmin_bytes * f);
+  s.kmax_bytes = static_cast<std::int64_t>(p.kmax_bytes * f);
+  return s;
+}
+
+int clamp_to_legal(DcqcnParams& p, Rate line_rate,
+                   std::int64_t buffer_bytes) {
+  int clamped = 0;
+  const auto clamp_rate = [&](Rate& r, Rate lo, Rate hi) {
+    const Rate c = std::clamp(r, lo, hi);
+    if (c != r) ++clamped;
+    r = c;
+  };
+  const auto clamp_time = [&](Time& t, Time lo, Time hi) {
+    const Time c = std::clamp(t, lo, hi);
+    if (c != t) ++clamped;
+    t = c;
+  };
+  const auto clamp_i64 = [&](std::int64_t& v, std::int64_t lo,
+                             std::int64_t hi) {
+    const std::int64_t c = std::clamp(v, lo, hi);
+    if (c != v) ++clamped;
+    v = c;
+  };
+  const auto clamp_dbl = [&](double& v, double lo, double hi) {
+    const double c = std::clamp(v, lo, hi);
+    if (c != v) ++clamped;
+    v = c;
+  };
+
+  clamp_rate(p.ai_rate, mbps(1), line_rate);
+  clamp_rate(p.hai_rate, mbps(1), line_rate);
+  clamp_time(p.rpg_time_reset, microseconds(10), milliseconds(10));
+  clamp_i64(p.rpg_byte_reset, 1024, 16 * 1024 * 1024);
+  p.rpg_threshold = std::clamp(p.rpg_threshold, 1, 32);
+  clamp_rate(p.min_rate, mbps(1), line_rate);
+  clamp_time(p.rate_reduce_monitor_period, microseconds(1), milliseconds(1));
+  clamp_time(p.alpha_update_period, microseconds(1), milliseconds(1));
+  clamp_dbl(p.g, 1.0 / 1024.0, 0.5);
+  clamp_dbl(p.initial_alpha, 0.0, 1.0);
+  clamp_time(p.min_time_between_cnps, microseconds(1), milliseconds(1));
+  // ECN thresholds: stay below the shared buffer and keep kmin <= kmax.
+  clamp_i64(p.kmin_bytes, 1024, buffer_bytes);
+  clamp_i64(p.kmax_bytes, 2048, buffer_bytes);
+  // Keep a marking ramp: kmax at least 25% above kmin (degenerate
+  // kmin == kmax turns RED marking into an on/off step).
+  if (p.kmax_bytes < p.kmin_bytes + p.kmin_bytes / 4) {
+    p.kmax_bytes = p.kmin_bytes + p.kmin_bytes / 4;
+    ++clamped;
+    if (p.kmax_bytes > buffer_bytes) {
+      p.kmax_bytes = buffer_bytes;
+      p.kmin_bytes = buffer_bytes * 4 / 5;
+    }
+  }
+  clamp_dbl(p.pmax, 0.01, 1.0);
+  return clamped;
+}
+
+std::string to_string(const DcqcnParams& p) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "ai=%.0fMbps hai=%.0fMbps t_reset=%.0fus b_reset=%lldB thr=%d "
+      "rrmp=%.0fus alpha_T=%.0fus g=%.4f cnp_gap=%.0fus "
+      "kmin=%lldKB kmax=%lldKB pmax=%.2f",
+      to_mbps(p.ai_rate), to_mbps(p.hai_rate), to_us(p.rpg_time_reset),
+      static_cast<long long>(p.rpg_byte_reset), p.rpg_threshold,
+      to_us(p.rate_reduce_monitor_period), to_us(p.alpha_update_period), p.g,
+      to_us(p.min_time_between_cnps),
+      static_cast<long long>(p.kmin_bytes / 1024),
+      static_cast<long long>(p.kmax_bytes / 1024), p.pmax);
+  return buf;
+}
+
+}  // namespace paraleon::dcqcn

@@ -1,0 +1,86 @@
+// The DCQCN parameter surface — the object PARALEON tunes.
+//
+// DCQCN (Zhu et al., SIGCOMM'15) splits congestion control across three
+// parties: the switch Congestion Point (CP) marks ECN from queue depth, the
+// receiver Notification Point (NP) paces CNPs back to the sender, and the
+// sender Reaction Point (RP) runs the AIMD rate machine. Each party exposes
+// parameters; this struct carries all of them, mirroring the NVIDIA
+// parameter set the paper cites ([21]) plus the switch-side ECN thresholds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace paraleon::dcqcn {
+
+struct DcqcnParams {
+  // ---- RP: rate increase ----
+  /// Additive-increase step added to the target rate per increase event.
+  Rate ai_rate = mbps(5);
+  /// Hyper-increase step, multiplied by the hyper stage count.
+  Rate hai_rate = mbps(50);
+  /// Period of the rate-increase timer; each expiry is one increase event.
+  Time rpg_time_reset = microseconds(300);
+  /// Bytes sent between byte-counter increase events.
+  std::int64_t rpg_byte_reset = 32767;
+  /// Events in fast-recovery before moving to additive/hyper increase.
+  int rpg_threshold = 5;
+  /// Floor for the sending rate.
+  Rate min_rate = mbps(100);
+
+  // ---- RP: rate decrease ----
+  /// At most one multiplicative cut per this period, regardless of CNPs.
+  Time rate_reduce_monitor_period = microseconds(4);
+  /// NVIDIA `clamp_tgt_rate`: if true (default), a cut also clamps the
+  /// target rate down to the pre-cut current rate; if false the target
+  /// keeps its higher value, so fast recovery climbs back more
+  /// aggressively after transient congestion.
+  bool clamp_tgt_rate = true;
+
+  // ---- RP: alpha update ----
+  /// Alpha decays by (1-g) every this period with no CNP received.
+  Time alpha_update_period = microseconds(55);
+  /// Congestion-estimate gain g in alpha = (1-g)*alpha + g on CNP.
+  double g = 1.0 / 256.0;
+  /// Initial alpha of a fresh QP.
+  double initial_alpha = 1.0;
+
+  // ---- NP ----
+  /// Minimum spacing between CNPs for one QP (CNP pacing).
+  Time min_time_between_cnps = microseconds(4);
+
+  // ---- CP (switch ECN marking) ----
+  /// Queue depth where marking starts.
+  std::int64_t kmin_bytes = 100 * 1024;
+  /// Queue depth where marking probability reaches pmax (1.0 above).
+  std::int64_t kmax_bytes = 400 * 1024;
+  /// Marking probability at kmax.
+  double pmax = 0.2;
+
+  bool operator==(const DcqcnParams&) const = default;
+};
+
+/// NVIDIA default parameter setting (the paper's "Default" baseline, [21]).
+DcqcnParams default_params();
+
+/// The expert-tuned setting of Table I (a 400 Gbps H100 training cluster).
+/// Parameters not listed in Table I keep their defaults.
+DcqcnParams expert_params();
+
+/// Rescales the rate- and queue-valued fields of `p` from a reference line
+/// rate to `line_rate`, keeping time-valued fields. Used to port the paper's
+/// 400 Gbps presets onto the scaled-down simulated fabrics.
+DcqcnParams scaled_for_line_rate(const DcqcnParams& p, Rate reference,
+                                 Rate line_rate);
+
+/// Clamps every field into its legal range (used after SA mutation).
+/// Returns the number of fields that had to be clamped.
+int clamp_to_legal(DcqcnParams& p, Rate line_rate,
+                   std::int64_t buffer_bytes);
+
+/// One-line human-readable rendering for logs and bench output.
+std::string to_string(const DcqcnParams& p);
+
+}  // namespace paraleon::dcqcn

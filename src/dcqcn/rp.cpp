@@ -1,0 +1,103 @@
+#include "dcqcn/rp.hpp"
+
+#include <algorithm>
+
+namespace paraleon::dcqcn {
+
+RpState::RpState(const DcqcnParams* params, Rate line_rate, Time now)
+    : params_(params),
+      line_rate_(line_rate),
+      rc_(line_rate),
+      rt_(line_rate),
+      alpha_(params->initial_alpha),
+      rate_timer_deadline_(now + params->rpg_time_reset),
+      alpha_timer_deadline_(now + params->alpha_update_period) {}
+
+bool RpState::on_cnp(Time now) {
+  cnp_since_alpha_update_ = true;
+  if (now - last_cut_ < params_->rate_reduce_monitor_period) return false;
+  last_cut_ = now;
+  if (params_->clamp_tgt_rate) {
+    rt_ = rc_;
+  }  // else: the target keeps its value; fast recovery re-climbs to it
+  rc_ = rc_ * (1.0 - alpha_ / 2.0);
+  clamp_rates();
+  t_stage_ = 0;
+  b_stage_ = 0;
+  bytes_since_counter_ = 0;
+  rate_timer_deadline_ = now + params_->rpg_time_reset;
+  return true;
+}
+
+void RpState::on_bytes_sent(std::int64_t bytes, Time now) {
+  (void)now;
+  bytes_since_counter_ += bytes;
+  while (bytes_since_counter_ >= params_->rpg_byte_reset) {
+    bytes_since_counter_ -= params_->rpg_byte_reset;
+    ++b_stage_;
+    // The byte counter and the rate timer are independent event sources;
+    // both reset only on a rate decrease (DCQCN, SIGCOMM'15 §3).
+    rate_increase_event();
+  }
+}
+
+Time RpState::next_deadline() const {
+  return std::min(rate_timer_deadline_, alpha_timer_deadline_);
+}
+
+void RpState::advance_to(Time now) {
+  // Fire due timers in chronological order so interleavings are exact.
+  while (true) {
+    const Time next = next_deadline();
+    if (next > now) break;
+    if (rate_timer_deadline_ <= alpha_timer_deadline_) {
+      fire_rate_timer(rate_timer_deadline_);
+    } else {
+      fire_alpha_timer(alpha_timer_deadline_);
+    }
+  }
+}
+
+void RpState::restart_timers(Time now) {
+  rate_timer_deadline_ = now + params_->rpg_time_reset;
+  alpha_timer_deadline_ = now + params_->alpha_update_period;
+}
+
+void RpState::fire_rate_timer(Time when) {
+  ++t_stage_;
+  rate_increase_event();
+  rate_timer_deadline_ = when + params_->rpg_time_reset;
+}
+
+void RpState::fire_alpha_timer(Time when) {
+  if (cnp_since_alpha_update_) {
+    alpha_ = (1.0 - params_->g) * alpha_ + params_->g;
+  } else {
+    alpha_ = (1.0 - params_->g) * alpha_;
+  }
+  cnp_since_alpha_update_ = false;
+  alpha_timer_deadline_ = when + params_->alpha_update_period;
+}
+
+void RpState::rate_increase_event() {
+  const int f = params_->rpg_threshold;
+  if (t_stage_ < f && b_stage_ < f) {
+    // Fast recovery: halve the distance to the pre-cut rate.
+  } else if (t_stage_ >= f && b_stage_ >= f) {
+    // Hyper increase: step grows with the hyper stage count.
+    const int i = std::min(t_stage_, b_stage_) - f + 1;
+    rt_ += params_->hai_rate * i;
+  } else {
+    // Additive increase.
+    rt_ += params_->ai_rate;
+  }
+  rc_ = (rt_ + rc_) / 2.0;
+  clamp_rates();
+}
+
+void RpState::clamp_rates() {
+  rt_ = std::clamp(rt_, params_->min_rate, line_rate_);
+  rc_ = std::clamp(rc_, params_->min_rate, line_rate_);
+}
+
+}  // namespace paraleon::dcqcn

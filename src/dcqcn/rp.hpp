@@ -1,0 +1,83 @@
+// DCQCN Reaction Point: the per-QP AIMD rate machine run by the sender RNIC.
+//
+// The class is simulator-agnostic: the owner feeds it CNP arrivals and sent
+// bytes, polls `next_deadline()` and calls `advance_to()` when the deadline
+// passes. This keeps the state machine directly unit-testable against the
+// published DCQCN behaviour (fast recovery / additive increase / hyper
+// increase, alpha updates, rate-reduce monitor period).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "dcqcn/params.hpp"
+
+namespace paraleon::dcqcn {
+
+class RpState {
+ public:
+  /// `params` must outlive the RpState; the pointed-to values may change at
+  /// any time (that is the whole point of PARALEON) and take effect on the
+  /// next event. A QP starts at line rate with alpha = initial_alpha.
+  RpState(const DcqcnParams* params, Rate line_rate, Time now);
+
+  /// A CNP arrived for this QP. Performs a multiplicative cut unless one
+  /// already happened within rate_reduce_monitor_period. Returns true if a
+  /// cut was performed.
+  bool on_cnp(Time now);
+
+  /// `bytes` more payload left the QP; may fire byte-counter increase
+  /// events. Call before computing the next packet's pacing gap.
+  void on_bytes_sent(std::int64_t bytes, Time now);
+
+  /// Earliest time at which a timer (rate-increase or alpha-update) fires.
+  Time next_deadline() const;
+
+  /// Fires every timer event with deadline <= now, in order.
+  void advance_to(Time now);
+
+  /// Restarts both timers from `now` with the current (possibly just
+  /// changed) periods. Called by the host when the controller installs new
+  /// parameters so period changes take effect promptly.
+  void restart_timers(Time now);
+
+  Rate current_rate() const { return rc_; }
+  Rate target_rate() const { return rt_; }
+  double alpha() const { return alpha_; }
+  int timer_stage() const { return t_stage_; }
+  int byte_stage() const { return b_stage_; }
+
+ private:
+  void rate_increase_event();
+  void fire_rate_timer(Time now);
+  void fire_alpha_timer(Time now);
+  void clamp_rates();
+
+  const DcqcnParams* params_;
+  Rate line_rate_;
+  Rate rc_;  // current (paced) rate
+  Rate rt_;  // target rate
+  double alpha_;
+  int t_stage_ = 0;  // rate-timer expirations since last cut
+  int b_stage_ = 0;  // byte-counter expirations since last cut
+  std::int64_t bytes_since_counter_ = 0;
+  Time last_cut_ = -kTimeNever / 2;  // far past: first CNP always cuts
+  bool cnp_since_alpha_update_ = false;
+  Time rate_timer_deadline_;
+  Time alpha_timer_deadline_;
+};
+
+/// DCQCN Notification Point: per-QP CNP pacing state at the receiver RNIC.
+struct NpState {
+  Time last_cnp = -kTimeNever / 2;
+
+  /// Whether a CNP may be emitted now for an ECN-marked arrival; records
+  /// the emission when it returns true.
+  bool try_emit(Time now, Time min_gap) {
+    if (now - last_cnp < min_gap) return false;
+    last_cnp = now;
+    return true;
+  }
+};
+
+}  // namespace paraleon::dcqcn

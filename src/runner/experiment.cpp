@@ -1,0 +1,328 @@
+#include "runner/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace paraleon::runner {
+
+Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
+  // The scheme dictates the initial parameter setting.
+  if (cfg_.scheme == Scheme::kCustomStatic) {
+    cfg_.clos.dcqcn = cfg_.custom_params;
+  } else {
+    cfg_.clos.dcqcn =
+        initial_params_for(cfg_.scheme, cfg_.clos.host_link);
+  }
+  cfg_.clos.seed = cfg_.seed;
+  topo_ = std::make_unique<sim::ClosTopology>(&sim_, cfg_.clos);
+
+  fct_ = std::make_unique<stats::FctTracker>(
+      [this](std::int64_t size, std::uint32_t src, std::uint32_t dst) {
+        return topo_->ideal_fct(size, static_cast<int>(src),
+                                static_cast<int>(dst));
+      });
+
+  for (int h = 0; h < topo_->host_count(); ++h) {
+    topo_->host(h).set_on_flow_complete([this](std::uint64_t id, Time t) {
+      fct_->on_flow_finish(id, t);
+      for (auto& w : workloads_) w->on_flow_complete(id, t);
+    });
+  }
+
+  wire_scheme();
+  schedule_probe();
+}
+
+void Experiment::wire_scheme() {
+  const Scheme s = cfg_.scheme;
+
+  if (s == Scheme::kParaleonPerPod) {
+    // §V large-scale mode: one scoped controller per ToR pod, tuning only
+    // its pod's RNICs and ToR; the shared spine keeps its static setting.
+    for (int t = 0; t < topo_->tor_count(); ++t) {
+      core::ControllerConfig ctrl = cfg_.controller;
+      ctrl.seed = (cfg_.seed ^ 0xC0FFEEull) * 1000003ull +
+                  static_cast<std::uint64_t>(t);
+      ctrl.scope.tors = {t};
+      ctrl.scope.include_leaves = false;
+      for (int h = 0; h < topo_->host_count(); ++h) {
+        if (topo_->tor_of_host(h) == t) ctrl.scope.hosts.push_back(h);
+      }
+      controllers_.push_back(std::make_unique<core::ParaleonController>(
+          &sim_, topo_.get(), ctrl));
+      auto es = std::make_unique<sketch::ElasticSketch>(cfg_.sketch);
+      sketch::ElasticSketch* raw = es.get();
+      topo_->tor(t).attach_sketch(raw);
+      sketches_.push_back(std::move(es));
+      agents_.push_back(std::make_unique<core::SwitchAgent>(
+          cfg_.agent, [raw] {
+            auto v = raw->heavy_flows();
+            raw->reset();
+            return v;
+          }));
+      controllers_.back()->add_agent(agents_.back().get());
+      controllers_.back()->start();
+    }
+    return;
+  }
+
+  if (scheme_has_controller(s)) {
+    core::ControllerConfig ctrl = cfg_.controller;
+    ctrl.seed = cfg_.seed ^ 0xC0FFEEull;
+    core::AgentConfig agent_cfg = cfg_.agent;
+
+    switch (s) {
+      case Scheme::kParaleon:
+        break;
+      case Scheme::kParaleonNaiveSa: {
+        core::SaConfig naive = core::SaConfig::naive();
+        // Keep the episode length knobs the experiment chose; only the
+        // ablated optimisations change.
+        naive.total_iter_num = ctrl.sa.total_iter_num;
+        naive.initial_temp = ctrl.sa.initial_temp;
+        naive.final_temp = ctrl.sa.final_temp;
+        naive.eta = ctrl.sa.eta;
+        ctrl.sa = naive;
+        break;
+      }
+      case Scheme::kParaleonNoFsd:
+        ctrl.fsd_available = false;
+        break;
+      case Scheme::kParaleonNetflow:
+        agent_cfg.mode = core::AgentConfig::Mode::kPerInterval;
+        agent_cfg.export_every_mi = cfg_.netflow_export_every_mi;
+        break;
+      case Scheme::kParaleonNaiveSketch:
+        agent_cfg.mode = core::AgentConfig::Mode::kPerInterval;
+        agent_cfg.export_every_mi = 1;
+        break;
+      default:
+        break;
+    }
+
+    controllers_.push_back(std::make_unique<core::ParaleonController>(
+        &sim_, topo_.get(), ctrl));
+    core::ParaleonController* controller = controllers_.back().get();
+
+    if (s != Scheme::kParaleonNoFsd) {
+      for (int t = 0; t < topo_->tor_count(); ++t) {
+        core::SwitchAgent::DrainFn drain;
+        if (s == Scheme::kParaleonRnicCounters) {
+          // §V relaxation: no programmable switches — the "agent" reads
+          // the per-QP counters of its rack's RNICs (exact, TOS-free).
+          std::vector<int> rack_hosts;
+          for (int h = 0; h < topo_->host_count(); ++h) {
+            if (topo_->tor_of_host(h) == t) rack_hosts.push_back(h);
+          }
+          drain = [this, rack_hosts] {
+            std::vector<sketch::HeavyRecord> out;
+            for (int h : rack_hosts) {
+              for (const auto& [qp, bytes] :
+                   topo_->host(h).drain_tx_bytes_per_flow(/*channel=*/0)) {
+                out.push_back({qp, bytes});
+              }
+            }
+            return out;
+          };
+        } else if (s == Scheme::kParaleonNetflow) {
+          auto nf_cfg = cfg_.netflow;
+          nf_cfg.seed = cfg_.seed * 31 + static_cast<std::uint64_t>(t);
+          auto nf = std::make_unique<sketch::NetFlow>(nf_cfg);
+          sketch::NetFlow* raw = nf.get();
+          drain = [raw] {
+            auto v = raw->flows();
+            raw->reset();
+            return v;
+          };
+          topo_->tor(t).attach_sketch(raw);
+          sketches_.push_back(std::move(nf));
+        } else {
+          auto es_cfg = cfg_.sketch;
+          es_cfg.use_tos_marking = (s != Scheme::kParaleonNaiveSketch);
+          auto es = std::make_unique<sketch::ElasticSketch>(es_cfg);
+          sketch::ElasticSketch* raw = es.get();
+          drain = [raw] {
+            auto v = raw->heavy_flows();
+            raw->reset();
+            return v;
+          };
+          topo_->tor(t).attach_sketch(raw);
+          sketches_.push_back(std::move(es));
+        }
+        agents_.push_back(
+            std::make_unique<core::SwitchAgent>(agent_cfg, std::move(drain)));
+        controller->add_agent(agents_.back().get());
+      }
+    }
+    controller->start();
+    return;
+  }
+
+  if (s == Scheme::kAcc) {
+    const auto make_agent = [&](sim::SwitchNode& sw, int idx) {
+      auto acc_cfg = cfg_.acc;
+      acc_cfg.seed = cfg_.seed * 131 + static_cast<std::uint64_t>(idx);
+      acc_agents_.push_back(std::make_unique<baselines::AccAgent>(
+          &sim_, &sw, cfg_.clos.host_link, acc_cfg));
+      acc_agents_.back()->start();
+    };
+    int idx = 0;
+    for (int t = 0; t < topo_->tor_count(); ++t) make_agent(topo_->tor(t), idx++);
+    for (int l = 0; l < topo_->leaf_count(); ++l)
+      make_agent(topo_->leaf(l), idx++);
+    return;
+  }
+
+  if (s == Scheme::kDcqcnPlus) {
+    for (int h = 0; h < topo_->host_count(); ++h) {
+      topo_->host(h).enable_dcqcn_plus(cfg_.dcqcn_plus_base_interval,
+                                       cfg_.dcqcn_plus_window);
+    }
+    return;
+  }
+  // Static schemes: parameters were installed at topology construction.
+}
+
+void Experiment::schedule_probe() {
+  const Time mi = cfg_.controller.mi;
+
+  // A single full-scope controller already records the network-wide
+  // series; schemes without one (static/ACC/DCQCN+) or with several
+  // scoped ones (per-pod) get an independent probe.
+  if (controllers_.size() != 1) {
+    // Record the runtime series the controller would otherwise provide.
+    probe_collector_ = std::make_unique<core::MetricCollector>(topo_.get());
+    // `self` recursion via a shared schedule lambda.
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, mi, tick] {
+      const core::NetworkMetrics m = probe_collector_->collect(mi);
+      probe_tput_.add(sim_.now(), m.total_tx_gbps);
+      probe_rtt_.add(sim_.now(), m.avg_rtt_us);
+      sim_.schedule_in(mi, *tick);
+    };
+    sim_.schedule_at(mi, *tick);
+  }
+
+  if (cfg_.track_fsd_accuracy) {
+    // Runs 1 ns after the controller/agent tick of the same interval so
+    // the agents have already advanced. Accuracy is per-flow elephant/mice
+    // classification over the flows truly active in the interval: a flow
+    // whose final size is >= tau counts as an elephant; the monitor's
+    // estimate is its likelihood (TOS dedup means at most one agent saw
+    // the flow; without dedup every agent saw all of its bytes, so the
+    // max across agents is the scheme's belief either way).
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, mi, tick] {
+      const std::int64_t tau = cfg_.agent.ternary.tau_bytes;
+      double sum = 0.0;
+      int n = 0;
+      for (int h = 0; h < topo_->host_count(); ++h) {
+        for (const auto& [flow_id, bytes] :
+             topo_->host(h).drain_tx_bytes_per_flow(/*channel=*/1)) {
+          if (bytes <= 0) continue;
+          const auto it = flow_specs_.find(flow_id);
+          if (it == flow_specs_.end()) continue;
+          const double truth = it->second.size >= tau ? 1.0 : 0.0;
+          double est = 0.0;
+          for (const auto& a : agents_) {
+            est = std::max(est, a->elephant_likelihood(it->second.qp_key));
+          }
+          sum += 1.0 - std::abs(est - truth);
+          ++n;
+        }
+      }
+      if (n > 0) accuracy_series_.add(sim_.now(), sum / n);
+      sim_.schedule_in(mi, *tick);
+    };
+    sim_.schedule_at(mi + 1, *tick);
+  }
+}
+
+void Experiment::start_flow(const workload::FlowSpec& spec) {
+  flow_specs_[spec.flow_id] =
+      FlowInfo{spec.src, spec.dst, spec.size_bytes,
+               spec.qp_key == 0 ? spec.flow_id : spec.qp_key};
+  fct_->on_flow_start(spec.flow_id, static_cast<std::uint32_t>(spec.src),
+                      static_cast<std::uint32_t>(spec.dst), spec.size_bytes,
+                      sim_.now());
+  topo_->host(spec.src).start_flow(spec.flow_id,
+                                   static_cast<sim::NodeId>(spec.dst),
+                                   spec.size_bytes, spec.qp_key);
+}
+
+workload::PoissonWorkload& Experiment::add_poisson(
+    workload::PoissonConfig wcfg) {
+  wcfg.flow_id_base =
+      (static_cast<std::uint64_t>(workloads_.size()) + 1) << 32;
+  wcfg.host_rate = cfg_.clos.host_link;
+  auto w = std::make_unique<workload::PoissonWorkload>(wcfg);
+  auto* raw = w.get();
+  workloads_.push_back(std::move(w));
+  raw->install(sim_, [this](const workload::FlowSpec& f) { start_flow(f); });
+  return *raw;
+}
+
+workload::AlltoallWorkload& Experiment::add_alltoall(
+    workload::AlltoallConfig wcfg) {
+  wcfg.flow_id_base =
+      (static_cast<std::uint64_t>(workloads_.size()) + 1) << 32;
+  auto w = std::make_unique<workload::AlltoallWorkload>(wcfg);
+  auto* raw = w.get();
+  workloads_.push_back(std::move(w));
+  raw->install(sim_, [this](const workload::FlowSpec& f) { start_flow(f); });
+  return *raw;
+}
+
+void Experiment::run() { run_until(cfg_.duration); }
+
+void Experiment::run_until(Time t) { sim_.run_until(t); }
+
+const stats::TimeSeries& Experiment::throughput_series() const {
+  return controllers_.size() == 1 ? controllers_.front()->throughput_series()
+                                  : probe_tput_;
+}
+
+const stats::TimeSeries& Experiment::rtt_series() const {
+  if (controllers_.size() == 1) return controllers_.front()->rtt_series();
+  if (controllers_.empty()) return probe_rtt_;
+  // Per-pod: each scoped controller drained its own hosts' RTT samples;
+  // merge by averaging the pods that saw traffic in each interval.
+  merged_rtt_ = stats::TimeSeries{};
+  const auto& first = controllers_.front()->rtt_series().points();
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& c : controllers_) {
+      const auto& pts = c->rtt_series().points();
+      if (i < pts.size() && pts[i].value > 0.0) {
+        sum += pts[i].value;
+        ++n;
+      }
+    }
+    merged_rtt_.add(first[i].t, n == 0 ? 0.0 : sum / n);
+  }
+  return merged_rtt_;
+}
+
+double Experiment::mean_fsd_accuracy() const {
+  const auto& pts = accuracy_series_.points();
+  if (pts.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : pts) sum += p.value;
+  return sum / static_cast<double>(pts.size());
+}
+
+dcqcn::DcqcnParams Experiment::learned_params() const {
+  if (controllers_.empty()) return cfg_.clos.dcqcn;
+  const auto& c = *controllers_.front();
+  return c.episodes() > 0 ? c.tuner().best() : c.installed_params();
+}
+
+std::vector<int> Experiment::all_hosts() const {
+  std::vector<int> out(static_cast<std::size_t>(topo_->host_count()));
+  for (int i = 0; i < topo_->host_count(); ++i) out[static_cast<std::size_t>(i)] = i;
+  return out;
+}
+
+}  // namespace paraleon::runner

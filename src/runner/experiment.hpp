@@ -1,0 +1,133 @@
+// Experiment harness: builds a CLOS fabric, installs a tuning scheme and
+// workloads, runs the simulation and exposes every result the evaluation
+// reports (FCT, runtime series, FSD accuracy, tuning traces, overheads).
+//
+// This is the one place where scheme wiring lives, so every bench, test
+// and example composes the same verified plumbing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/acc.hpp"
+#include "core/controller.hpp"
+#include "core/monitor.hpp"
+#include "runner/scheme.hpp"
+#include "sim/topology.hpp"
+#include "sketch/elastic_sketch.hpp"
+#include "sketch/netflow.hpp"
+#include "stats/fct_tracker.hpp"
+#include "stats/timeseries.hpp"
+#include "workload/alltoall_workload.hpp"
+#include "workload/poisson_workload.hpp"
+
+namespace paraleon::runner {
+
+struct ExperimentConfig {
+  sim::ClosConfig clos;
+  Scheme scheme = Scheme::kParaleon;
+  /// Used when scheme == kCustomStatic (e.g. a pretrained setting).
+  dcqcn::DcqcnParams custom_params;
+  core::ControllerConfig controller;
+  sketch::ElasticSketchConfig sketch;
+  core::AgentConfig agent;
+  baselines::AccConfig acc;
+  Time dcqcn_plus_base_interval = microseconds(50);
+  Time dcqcn_plus_window = milliseconds(1);
+  sketch::NetFlowConfig netflow;
+  /// NetFlow exports every N monitor intervals (paper: 1 s at 1 ms MI).
+  int netflow_export_every_mi = 1000;
+  /// Record per-MI FSD accuracy against ground truth (Figs. 10/11).
+  bool track_fsd_accuracy = false;
+  Time duration = milliseconds(50);
+  std::uint64_t seed = 1;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig cfg);
+
+  workload::PoissonWorkload& add_poisson(workload::PoissonConfig wcfg);
+  workload::AlltoallWorkload& add_alltoall(workload::AlltoallConfig wcfg);
+
+  /// Runs until `config().duration`.
+  void run();
+  void run_until(Time t);
+
+  // ---- accessors ----
+  const ExperimentConfig& config() const { return cfg_; }
+  sim::Simulator& simulator() { return sim_; }
+  sim::ClosTopology& topology() { return *topo_; }
+  stats::FctTracker& fct() { return *fct_; }
+  const stats::FctTracker& fct() const { return *fct_; }
+  /// Null unless the scheme runs a PARALEON controller. For the per-pod
+  /// scheme this is the first pod's controller; see controllers().
+  core::ParaleonController* controller() {
+    return controllers_.empty() ? nullptr : controllers_.front().get();
+  }
+  /// All controllers (one for most schemes, one per pod for kParaleonPerPod).
+  const std::vector<std::unique_ptr<core::ParaleonController>>& controllers()
+      const {
+    return controllers_;
+  }
+
+  /// Aggregate goodput (Gbps) and raw RTT (us) per monitor interval, for
+  /// every scheme (controller-driven schemes reuse the controller's
+  /// series; others are recorded by a probe).
+  const stats::TimeSeries& throughput_series() const;
+  const stats::TimeSeries& rtt_series() const;
+  /// Per-MI FSD accuracy (empty unless track_fsd_accuracy).
+  const stats::TimeSeries& fsd_accuracy_series() const {
+    return accuracy_series_;
+  }
+  double mean_fsd_accuracy() const;
+
+  /// The setting PARALEON would freeze for offline use (Fig. 9
+  /// pretraining): best-known parameters of the tuner, or the installed
+  /// ones when no episode ran.
+  dcqcn::DcqcnParams learned_params() const;
+
+  /// Spec of a flow started through this harness.
+  struct FlowInfo {
+    int src = 0;
+    int dst = 0;
+    std::int64_t size = 0;
+    std::uint64_t qp_key = 0;
+  };
+  const std::unordered_map<std::uint64_t, FlowInfo>& flows() const {
+    return flow_specs_;
+  }
+
+  /// All per-hop host hosts convenience: ids 0..host_count-1.
+  std::vector<int> all_hosts() const;
+
+ private:
+  void start_flow(const workload::FlowSpec& spec);
+  void wire_scheme();
+  void schedule_probe();
+
+  ExperimentConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::ClosTopology> topo_;
+  std::unique_ptr<stats::FctTracker> fct_;
+
+  std::vector<std::unique_ptr<workload::Workload>> workloads_;
+  std::unordered_map<std::uint64_t, FlowInfo> flow_specs_;
+
+  // Scheme machinery (subset populated depending on cfg_.scheme).
+  std::vector<std::unique_ptr<sim::SketchHook>> sketches_;
+  std::vector<std::unique_ptr<core::SwitchAgent>> agents_;
+  std::vector<std::unique_ptr<core::ParaleonController>> controllers_;
+  std::vector<std::unique_ptr<baselines::AccAgent>> acc_agents_;
+
+  // Probe for schemes without a controller + accuracy tracking.
+  std::unique_ptr<core::MetricCollector> probe_collector_;
+  stats::TimeSeries probe_tput_;
+  stats::TimeSeries probe_rtt_;
+  mutable stats::TimeSeries merged_rtt_;  // per-pod RTT view, built lazily
+  stats::TimeSeries accuracy_series_;
+};
+
+}  // namespace paraleon::runner

@@ -1,0 +1,48 @@
+// Console reporting helpers shared by the benches and examples: aligned
+// table rows, series plots, and the standard scaling-note header.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace paraleon::runner {
+
+inline void print_header(const std::string& title,
+                         const std::string& scaling_note) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!scaling_note.empty()) std::printf("# scaling: %s\n", scaling_note.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+/// Prints a time series as (t_ms, value) rows, downsampled to ~`points`.
+inline void print_series(const std::string& name,
+                         const stats::TimeSeries& series,
+                         std::size_t points = 25) {
+  const auto& pts = series.points();
+  if (pts.empty()) {
+    std::printf("%s: (empty)\n", name.c_str());
+    return;
+  }
+  std::printf("-- %s --\n", name.c_str());
+  const std::size_t stride = std::max<std::size_t>(1, pts.size() / points);
+  for (std::size_t i = 0; i < pts.size(); i += stride) {
+    std::printf("  t=%8.2fms  %10.3f\n", to_ms(pts[i].t), pts[i].value);
+  }
+}
+
+}  // namespace paraleon::runner

@@ -1,0 +1,49 @@
+#include "runner/scheme.hpp"
+
+namespace paraleon::runner {
+
+std::string scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kDefaultStatic: return "Default";
+    case Scheme::kExpertStatic: return "Expert";
+    case Scheme::kCustomStatic: return "Pretrained";
+    case Scheme::kParaleon: return "PARALEON";
+    case Scheme::kParaleonNaiveSa: return "naive_SA";
+    case Scheme::kParaleonNoFsd: return "No_FSD";
+    case Scheme::kParaleonNetflow: return "NetFlow";
+    case Scheme::kParaleonNaiveSketch: return "ElasticSketch";
+    case Scheme::kParaleonRnicCounters: return "RNIC_counters";
+    case Scheme::kParaleonPerPod: return "PerPod";
+    case Scheme::kAcc: return "ACC";
+    case Scheme::kDcqcnPlus: return "DCQCN+";
+  }
+  return "?";
+}
+
+bool scheme_has_controller(Scheme s) {
+  switch (s) {
+    case Scheme::kParaleon:
+    case Scheme::kParaleonNaiveSa:
+    case Scheme::kParaleonNoFsd:
+    case Scheme::kParaleonNetflow:
+    case Scheme::kParaleonNaiveSketch:
+    case Scheme::kParaleonRnicCounters:
+    case Scheme::kParaleonPerPod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+dcqcn::DcqcnParams initial_params_for(Scheme s, Rate line_rate) {
+  switch (s) {
+    case Scheme::kExpertStatic:
+      return dcqcn::scaled_for_line_rate(dcqcn::expert_params(), gbps(400),
+                                         line_rate);
+    default:
+      return dcqcn::scaled_for_line_rate(dcqcn::default_params(), gbps(100),
+                                         line_rate);
+  }
+}
+
+}  // namespace paraleon::runner

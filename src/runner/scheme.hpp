@@ -1,0 +1,37 @@
+// The tuning schemes compared throughout the evaluation.
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+#include "dcqcn/params.hpp"
+
+namespace paraleon::runner {
+
+enum class Scheme {
+  kDefaultStatic,   // NVIDIA defaults [21]
+  kExpertStatic,    // Table I expert setting
+  kCustomStatic,    // caller-provided (pretrained settings, Fig. 9)
+  kParaleon,        // full system
+  kParaleonNaiveSa,       // Fig. 12 ablation: unguided SA, slow cooling
+  kParaleonNoFsd,         // Fig. 10 ablation: no flow size distribution
+  kParaleonNetflow,       // Fig. 10: NetFlow monitoring source
+  kParaleonNaiveSketch,   // Fig. 10: Elastic Sketch without control plane
+  kParaleonRnicCounters,  // §V: monitoring from per-QP RNIC counters, no
+                          // programmable switches needed
+  kParaleonPerPod,        // §V: one scoped controller per ToR pod
+  kAcc,             // switch-side RL ECN tuning baseline
+  kDcqcnPlus,       // RNIC-side incast-adaptive baseline
+};
+
+std::string scheme_name(Scheme s);
+
+/// Whether the scheme runs the PARALEON controller loop.
+bool scheme_has_controller(Scheme s);
+
+/// The initial DCQCN parameter preset a scheme starts from, ported to the
+/// experiment's line rate (defaults are referenced to 100 Gbps, the expert
+/// Table I values to the paper's 400 Gbps testbed).
+dcqcn::DcqcnParams initial_params_for(Scheme s, Rate line_rate);
+
+}  // namespace paraleon::runner

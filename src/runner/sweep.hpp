@@ -1,0 +1,45 @@
+// Seed-sweep statistics: run the same experiment under several seeds and
+// aggregate a scalar metric. The simulator is deterministic per seed, so a
+// sweep is the honest way to report run-to-run variance in the benches.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace paraleon::runner {
+
+struct SweepStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+/// Evaluates `metric(seed)` for each seed and aggregates.
+inline SweepStats sweep_seeds(
+    const std::vector<std::uint64_t>& seeds,
+    const std::function<double(std::uint64_t)>& metric) {
+  SweepStats s;
+  if (seeds.empty()) return s;
+  std::vector<double> values;
+  values.reserve(seeds.size());
+  for (const auto seed : seeds) values.push_back(metric(seed));
+  s.n = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    s.mean += v;
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+  s.mean /= static_cast<double>(s.n);
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace paraleon::runner

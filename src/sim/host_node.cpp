@@ -1,0 +1,279 @@
+#include "sim/host_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paraleon::sim {
+
+namespace {
+/// A QP keeps at most this many packets inside the NIC; models the RNIC's
+/// internal QP arbitration and prevents unbounded NIC queue growth while
+/// still letting the NIC stay fully utilised.
+constexpr int kMaxPerQpNicBacklog = 2;
+}  // namespace
+
+HostNode::HostNode(Simulator* sim, NodeId id, dcqcn::DcqcnParams rnic_params)
+    : Node(id, /*is_switch=*/false), sim_(sim), params_(rnic_params) {}
+
+void HostNode::attach_uplink(Node* tor, int tor_port, Rate rate,
+                             Time prop_delay) {
+  assert(!uplink_ && "uplink already attached");
+  uplink_ = std::make_unique<NetDevice>(sim_, tor, tor_port, rate, prop_delay);
+  uplink_->on_dequeue = [this](const NetDevice::Queued& item) {
+    on_nic_dequeue(item);
+  };
+}
+
+void HostNode::start_flow(std::uint64_t flow_id, NodeId dst,
+                          std::int64_t size_bytes, std::uint64_t qp_key) {
+  assert(uplink_ && "host has no uplink");
+  assert(size_bytes > 0);
+  auto [it, inserted] = tx_flows_.try_emplace(
+      flow_id, &params_, uplink_->rate(), sim_->now());
+  assert(inserted && "flow_id reused");
+  FlowTx& f = it->second;
+  f.dst = dst;
+  f.qp_key = qp_key == 0 ? flow_id : qp_key;
+  f.size = size_bytes;
+  f.next_time = sim_->now();
+  schedule_rp_timer(flow_id, f);
+  try_send(flow_id);
+}
+
+void HostNode::try_send(std::uint64_t flow_id) {
+  auto it = tx_flows_.find(flow_id);
+  if (it == tx_flows_.end()) return;
+  FlowTx& f = it->second;
+
+  while (f.sent < f.size) {
+    if (f.in_nic >= kMaxPerQpNicBacklog) {
+      f.blocked = true;  // on_nic_dequeue will resume us
+      return;
+    }
+    const Time now = sim_->now();
+    if (now < f.next_time) {
+      if (!f.wait_scheduled) {
+        f.wait_scheduled = true;
+        sim_->schedule_at(f.next_time, [this, flow_id] {
+          auto it2 = tx_flows_.find(flow_id);
+          if (it2 == tx_flows_.end()) return;
+          it2->second.wait_scheduled = false;
+          try_send(flow_id);
+        });
+      }
+      return;
+    }
+
+    f.rp.advance_to(now);
+    const auto bytes = static_cast<std::uint32_t>(
+        std::min<std::int64_t>(mtu_bytes_, f.size - f.sent));
+    Packet pkt;
+    pkt.flow_id = flow_id;
+    pkt.qp_key = f.qp_key;
+    pkt.src = id();
+    pkt.dst = f.dst;
+    pkt.type = PacketType::kData;
+    pkt.priority = kPriorityData;
+    pkt.size_bytes = bytes;
+    pkt.offset = f.sent;
+    pkt.sent_time = now;
+    pkt.aux = f.size;  // lets the receiver detect the last byte
+    uplink_->enqueue(pkt, -1);
+    ++f.in_nic;
+    f.sent += bytes;
+    f.rp.on_bytes_sent(bytes, now);
+    // Pace the next injection at the QP's current DCQCN rate.
+    const Time gap = serialization_time(bytes, f.rp.current_rate());
+    f.next_time = std::max(now, f.next_time) + gap;
+  }
+  maybe_finish_tx(flow_id);
+}
+
+void HostNode::schedule_rp_timer(std::uint64_t flow_id, FlowTx& f) {
+  const std::uint64_t gen = ++f.rp_gen;
+  const Time t = std::max(f.rp.next_deadline(), sim_->now());
+  sim_->schedule_at(t, [this, flow_id, gen] {
+    auto it = tx_flows_.find(flow_id);
+    if (it == tx_flows_.end() || it->second.rp_gen != gen) return;
+    it->second.rp.advance_to(sim_->now());
+    schedule_rp_timer(flow_id, it->second);
+    // A rate increase may allow an earlier injection than the gap computed
+    // with the old rate; keep it simple and let the existing pacing stand —
+    // the new rate applies from the next packet.
+  });
+}
+
+void HostNode::on_nic_dequeue(const NetDevice::Queued& item) {
+  if (item.pkt.type != PacketType::kData) return;
+  // Channel 0 models the RNIC's per-QP counters (keyed by QP); channel 1
+  // serves the ground-truth probe (keyed by individual flow).
+  mi_tx_bytes_[0][item.pkt.qp_key] += item.pkt.size_bytes;
+  mi_tx_bytes_[1][item.pkt.flow_id] += item.pkt.size_bytes;
+  auto it = tx_flows_.find(item.pkt.flow_id);
+  if (it == tx_flows_.end()) return;
+  FlowTx& f = it->second;
+  --f.in_nic;
+  if (f.sent >= f.size) {
+    maybe_finish_tx(item.pkt.flow_id);
+    return;
+  }
+  if (f.blocked) {
+    f.blocked = false;
+    try_send(item.pkt.flow_id);
+  }
+}
+
+void HostNode::maybe_finish_tx(std::uint64_t flow_id) {
+  auto it = tx_flows_.find(flow_id);
+  if (it == tx_flows_.end()) return;
+  const FlowTx& f = it->second;
+  if (f.sent >= f.size && f.in_nic == 0) tx_flows_.erase(it);
+}
+
+void HostNode::receive(const Packet& pkt, int in_port) {
+  (void)in_port;  // hosts have a single port
+  switch (pkt.type) {
+    case PacketType::kPfcPause:
+      uplink_->pause_data(pkt.aux);
+      return;
+    case PacketType::kPfcResume:
+      uplink_->resume_data();
+      return;
+    case PacketType::kData:
+      handle_data(pkt);
+      return;
+    case PacketType::kAck:
+      handle_ack(pkt);
+      return;
+    case PacketType::kCnp:
+      handle_cnp(pkt);
+      return;
+  }
+}
+
+void HostNode::handle_data(const Packet& pkt) {
+  FlowRx& rx = rx_flows_[pkt.flow_id];
+  if (rx.total == 0) rx.total = pkt.aux;
+  rx.received += pkt.size_bytes;
+
+  // NP: emit a paced CNP when the packet carries ECN CE.
+  if (pkt.ecn_ce) {
+    Time cnp_gap = params_.min_time_between_cnps;
+    Time adaptive_interval = 0;
+    if (dcqcn_plus_) {
+      // DCQCN+: gauge the incast degree as the number of distinct flows
+      // with recent CE marks, and scale the CNP interval with it.
+      const Time now = sim_->now();
+      marked_flows_[pkt.flow_id] = now;
+      for (auto it = marked_flows_.begin(); it != marked_flows_.end();) {
+        if (now - it->second > dcqcnp_window_) {
+          it = marked_flows_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      const auto n = std::max<std::size_t>(1, marked_flows_.size());
+      adaptive_interval =
+          dcqcnp_base_interval_ * static_cast<Time>(n);
+      cnp_gap = adaptive_interval;
+    }
+    if (rx.np.try_emit(sim_->now(), cnp_gap)) {
+      ++cnps_sent_;
+      Packet cnp = make_cnp(pkt, sim_->now());
+      cnp.aux = adaptive_interval;  // 0 unless DCQCN+ is active
+      uplink_->enqueue(cnp, -1);
+    }
+  }
+
+  // Per-packet ACK: echoes the timestamp (RTT sampling at the sender).
+  uplink_->enqueue(make_ack(pkt, sim_->now(), rx.received), -1);
+
+  if (!rx.completed && rx.received >= rx.total) {
+    rx.completed = true;
+    if (on_complete_) on_complete_(pkt.flow_id, sim_->now());
+  }
+}
+
+void HostNode::handle_ack(const Packet& pkt) {
+  const Time rtt = sim_->now() - pkt.aux;
+  mi_rtt_raw_sum_ += static_cast<double>(rtt);
+  ++mi_rtt_raw_count_;
+  if (base_rtt_) {
+    const Time base = base_rtt_(pkt.src);
+    if (base > 0 && rtt > 0) {
+      mi_rtt_norm_sum_ += std::min(
+          1.0, static_cast<double>(base) / static_cast<double>(rtt));
+      ++mi_rtt_norm_count_;
+    }
+  }
+}
+
+void HostNode::handle_cnp(const Packet& pkt) {
+  ++cnps_received_;
+  if (dcqcn_plus_ && pkt.aux > 0) {
+    // DCQCN+ RP reaction: the CNP carries the NP's adaptive interval;
+    // stretch the increase timer and shrink the AI step by the same
+    // incast factor. (Applied host-wide — a documented approximation of
+    // the per-QP behaviour; see DESIGN.md.)
+    const double factor =
+        static_cast<double>(pkt.aux) /
+        static_cast<double>(std::max<Time>(1, dcqcnp_base_interval_));
+    params_.rpg_time_reset = std::min<Time>(
+        milliseconds(10),
+        static_cast<Time>(dcqcnp_base_params_.rpg_time_reset * factor));
+    params_.ai_rate = std::max(mbps(1), dcqcnp_base_params_.ai_rate / factor);
+  }
+  auto it = tx_flows_.find(pkt.flow_id);
+  if (it == tx_flows_.end()) return;  // flow already fully injected
+  if (it->second.rp.on_cnp(sim_->now())) {
+    // Deadlines moved; re-arm the timer event.
+    schedule_rp_timer(pkt.flow_id, it->second);
+  }
+}
+
+void HostNode::enable_dcqcn_plus(Time base_cnp_interval,
+                                 Time congestion_window) {
+  dcqcn_plus_ = true;
+  dcqcnp_base_interval_ = base_cnp_interval;
+  dcqcnp_window_ = congestion_window;
+  dcqcnp_base_params_ = params_;
+}
+
+void HostNode::set_dcqcn_params(const dcqcn::DcqcnParams& p) {
+  params_ = p;
+  for (auto& [flow_id, f] : tx_flows_) {
+    f.rp.restart_timers(sim_->now());
+    schedule_rp_timer(flow_id, f);
+  }
+}
+
+std::unordered_map<std::uint64_t, std::int64_t>
+HostNode::drain_tx_bytes_per_flow(int channel) {
+  assert(channel >= 0 && channel < kTxCounterChannels);
+  auto out = std::move(mi_tx_bytes_[channel]);
+  mi_tx_bytes_[channel].clear();
+  return out;
+}
+
+std::pair<double, std::uint64_t> HostNode::drain_rtt_norm_samples() {
+  const std::pair<double, std::uint64_t> out{mi_rtt_norm_sum_,
+                                             mi_rtt_norm_count_};
+  mi_rtt_norm_sum_ = 0.0;
+  mi_rtt_norm_count_ = 0;
+  return out;
+}
+
+std::pair<double, std::uint64_t> HostNode::drain_rtt_raw_samples() {
+  const std::pair<double, std::uint64_t> out{mi_rtt_raw_sum_,
+                                             mi_rtt_raw_count_};
+  mi_rtt_raw_sum_ = 0.0;
+  mi_rtt_raw_count_ = 0;
+  return out;
+}
+
+double HostNode::qp_rate(std::uint64_t flow_id) const {
+  const auto it = tx_flows_.find(flow_id);
+  return it == tx_flows_.end() ? 0.0 : it->second.rp.current_rate();
+}
+
+}  // namespace paraleon::sim

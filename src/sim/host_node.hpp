@@ -1,0 +1,147 @@
+// Host with an RDMA NIC: per-QP DCQCN pacing (Reaction Point), receiver
+// CNP generation (Notification Point), per-packet ACKs for RTT sampling and
+// completion detection, and PFC reaction on its uplink.
+//
+// The RNIC exposes exactly the knobs PARALEON's controller tunes
+// (`set_dcqcn_params`) plus the monitor-facing counters the paper's agents
+// read each monitor interval: per-QP transmitted bytes (ground-truth flow
+// sizes), normalised RTT samples, and uplink throughput / pause time via
+// the NetDevice counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/time.hpp"
+#include "dcqcn/params.hpp"
+#include "dcqcn/rp.hpp"
+#include "sim/net_device.hpp"
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace paraleon::sim {
+
+class HostNode : public Node {
+ public:
+  /// (flow_id, finish_time) when the last byte of a flow arrives here.
+  using FlowCompleteFn = std::function<void(std::uint64_t, Time)>;
+  /// Base (idle-network) RTT to a peer host, for Swift-style normalisation.
+  using BaseRttFn = std::function<Time(NodeId peer)>;
+
+  HostNode(Simulator* sim, NodeId id, dcqcn::DcqcnParams rnic_params);
+
+  /// Wires the uplink towards the ToR. Must be called exactly once.
+  void attach_uplink(Node* tor, int tor_port, Rate rate, Time prop_delay);
+
+  void receive(const Packet& pkt, int in_port) override;
+
+  /// Starts sending `size_bytes` to `dst` now. `qp_key` identifies the QP
+  /// carrying the flow for data-plane measurement (0 = flow_id, i.e. a
+  /// dedicated QP); round-based collectives pass a stable per-pair key.
+  void start_flow(std::uint64_t flow_id, NodeId dst, std::int64_t size_bytes,
+                  std::uint64_t qp_key = 0);
+
+  // ---- controller-facing ----
+  void set_dcqcn_params(const dcqcn::DcqcnParams& p);
+  const dcqcn::DcqcnParams& dcqcn_params() const { return params_; }
+
+  /// Enables the DCQCN+ baseline (Gao et al., ICNP'18): the NP scales the
+  /// CNP interval with the number of concurrently congested flows observed
+  /// in `congestion_window`, carries the interval in each CNP, and the RP
+  /// slows its rate-increase step/timer proportionally — taming large
+  /// incasts with RNIC-only changes.
+  void enable_dcqcn_plus(Time base_cnp_interval, Time congestion_window);
+  std::size_t dcqcn_plus_congested_flows() const {
+    return marked_flows_.size();
+  }
+
+  // ---- monitor-facing ----
+  NetDevice& uplink() { return *uplink_; }
+  const NetDevice& uplink() const { return *uplink_; }
+  bool has_active_tx() const { return !tx_flows_.empty(); }
+  std::size_t active_tx_flows() const { return tx_flows_.size(); }
+  /// Per-QP bytes put on the wire since the last call on this channel;
+  /// clears the channel's counters. Models reading+resetting RNIC per-QP
+  /// counters. Independent channels let the ground-truth probe and an
+  /// RNIC-based monitor (§V "Relaxation of programmable switches") read
+  /// concurrently without stealing each other's samples.
+  static constexpr int kTxCounterChannels = 2;
+  std::unordered_map<std::uint64_t, std::int64_t> drain_tx_bytes_per_flow(
+      int channel = 0);
+  /// (sum of base/rtt samples, count) since last drain.
+  std::pair<double, std::uint64_t> drain_rtt_norm_samples();
+  /// (sum of raw rtt in ns, count) since last drain.
+  std::pair<double, std::uint64_t> drain_rtt_raw_samples();
+  std::uint64_t cnps_sent() const { return cnps_sent_; }
+  std::uint64_t cnps_received() const { return cnps_received_; }
+
+  void set_on_flow_complete(FlowCompleteFn fn) { on_complete_ = std::move(fn); }
+  void set_base_rtt_fn(BaseRttFn fn) { base_rtt_ = std::move(fn); }
+
+  /// Test/diagnostic access to a sender QP's current DCQCN rate.
+  double qp_rate(std::uint64_t flow_id) const;
+
+ private:
+  struct FlowTx {
+    NodeId dst = 0;
+    std::uint64_t qp_key = 0;
+    std::int64_t size = 0;
+    std::int64_t sent = 0;
+    int in_nic = 0;          // packets queued in the NIC, backpressure cap 2
+    bool blocked = false;    // waiting for the NIC to drain
+    bool wait_scheduled = false;  // pacing wakeup pending
+    Time next_time = 0;      // earliest next injection per the paced rate
+    std::uint64_t rp_gen = 0;
+    dcqcn::RpState rp;
+    FlowTx(const dcqcn::DcqcnParams* p, Rate line, Time now)
+        : rp(p, line, now) {}
+  };
+  struct FlowRx {
+    std::int64_t total = 0;
+    std::int64_t received = 0;
+    bool completed = false;
+    dcqcn::NpState np;
+  };
+
+  void try_send(std::uint64_t flow_id);
+  void schedule_rp_timer(std::uint64_t flow_id, FlowTx& f);
+  void on_nic_dequeue(const NetDevice::Queued& item);
+  void handle_data(const Packet& pkt);
+  void handle_ack(const Packet& pkt);
+  void handle_cnp(const Packet& pkt);
+  void maybe_finish_tx(std::uint64_t flow_id);
+
+  Simulator* sim_;
+  dcqcn::DcqcnParams params_;
+  std::unique_ptr<NetDevice> uplink_;
+  std::int64_t mtu_bytes_ = 1024;
+
+  std::unordered_map<std::uint64_t, FlowTx> tx_flows_;
+  // Receive state is kept for the run's lifetime (a completed entry is a
+  // few dozen bytes; experiments run tens of thousands of flows at most).
+  std::unordered_map<std::uint64_t, FlowRx> rx_flows_;
+
+  std::unordered_map<std::uint64_t, std::int64_t>
+      mi_tx_bytes_[kTxCounterChannels];
+  double mi_rtt_norm_sum_ = 0.0;
+  std::uint64_t mi_rtt_norm_count_ = 0;
+  double mi_rtt_raw_sum_ = 0.0;
+  std::uint64_t mi_rtt_raw_count_ = 0;
+  std::uint64_t cnps_sent_ = 0;
+  std::uint64_t cnps_received_ = 0;
+
+  FlowCompleteFn on_complete_;
+  BaseRttFn base_rtt_;
+
+  // ---- DCQCN+ baseline state ----
+  bool dcqcn_plus_ = false;
+  Time dcqcnp_base_interval_ = 0;
+  Time dcqcnp_window_ = 0;
+  dcqcn::DcqcnParams dcqcnp_base_params_;
+  /// flow -> last time a CE-marked packet of it arrived (NP incast gauge).
+  std::unordered_map<std::uint64_t, Time> marked_flows_;
+};
+
+}  // namespace paraleon::sim

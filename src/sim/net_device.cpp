@@ -1,0 +1,102 @@
+#include "sim/net_device.hpp"
+
+#include <algorithm>
+
+#include "sim/node.hpp"
+
+namespace paraleon::sim {
+
+NetDevice::NetDevice(Simulator* sim, Node* peer, int peer_port, Rate rate,
+                     Time propagation_delay)
+    : sim_(sim),
+      peer_(peer),
+      peer_port_(peer_port),
+      rate_(rate),
+      prop_delay_(propagation_delay) {}
+
+void NetDevice::enqueue(const Packet& pkt, int in_port) {
+  if (pkt.is_control()) {
+    ctrl_q_.push_back({pkt, in_port});
+    ctrl_bytes_ += pkt.size_bytes;
+  } else {
+    data_q_.push_back({pkt, in_port});
+    data_bytes_ += pkt.size_bytes;
+  }
+  try_transmit();
+}
+
+bool NetDevice::data_paused() const { return sim_->now() < pause_until_; }
+
+void NetDevice::pause_data(Time duration) {
+  const Time now = sim_->now();
+  const Time until = now + duration;
+  if (!data_paused()) {
+    pause_start_ = now;
+    ++pause_events_;
+  }
+  pause_until_ = std::max(pause_until_, until);
+  // Wake the transmitter when the pause lapses; the generation counter
+  // voids stale kicks when the pause is extended or cancelled early.
+  const std::uint64_t gen = ++kick_generation_;
+  sim_->schedule_at(pause_until_, [this, gen] {
+    if (gen == kick_generation_) {
+      paused_accum_ += sim_->now() - pause_start_;
+      try_transmit();
+    }
+  });
+}
+
+void NetDevice::resume_data() {
+  if (!data_paused()) return;
+  paused_accum_ += sim_->now() - pause_start_;
+  pause_until_ = sim_->now();
+  ++kick_generation_;  // void the pending auto-resume kick
+  try_transmit();
+}
+
+Time NetDevice::paused_time() const {
+  Time t = paused_accum_;
+  if (data_paused()) t += sim_->now() - pause_start_;
+  return t;
+}
+
+void NetDevice::try_transmit() {
+  if (busy_) return;
+  Queued item;
+  if (!ctrl_q_.empty()) {
+    item = std::move(ctrl_q_.front());
+    ctrl_q_.pop_front();
+    ctrl_bytes_ -= item.pkt.size_bytes;
+  } else if (!data_q_.empty() && !data_paused()) {
+    item = std::move(data_q_.front());
+    data_q_.pop_front();
+    data_bytes_ -= item.pkt.size_bytes;
+  } else {
+    return;
+  }
+  busy_ = true;
+  const Time ser = serialization_time(item.pkt.size_bytes, rate_);
+  sim_->schedule_in(ser, [this, item = std::move(item)]() mutable {
+    finish_transmit(std::move(item));
+  });
+}
+
+void NetDevice::finish_transmit(Queued item) {
+  busy_ = false;
+  if (item.pkt.is_control()) {
+    tx_ctrl_bytes_ += item.pkt.size_bytes;
+  } else {
+    tx_data_bytes_ += item.pkt.size_bytes;
+    ++tx_data_packets_;
+  }
+  if (on_dequeue) on_dequeue(item);
+  Packet pkt = item.pkt;
+  if (pkt.ttl > 0) --pkt.ttl;
+  Node* peer = peer_;
+  const int port = peer_port_;
+  sim_->schedule_in(prop_delay_,
+                    [peer, port, pkt] { peer->receive(pkt, port); });
+  try_transmit();
+}
+
+}  // namespace paraleon::sim

@@ -1,0 +1,95 @@
+// One directed link endpoint: an egress transmitter with a strict-priority
+// control queue and a PFC-pausable data FIFO, feeding a fixed-rate link
+// with propagation delay.
+//
+// The owning node installs an `on_dequeue` hook for MMU accounting (switch)
+// or QP backpressure (host). Counters feed the Runtime Metric Monitor:
+// transmitted data bytes (throughput / utilisation) and accumulated paused
+// time (the O_PFC term of the utility function).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/time.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace paraleon::sim {
+
+class Node;
+
+class NetDevice {
+ public:
+  struct Queued {
+    Packet pkt;
+    int in_port = -1;  // ingress port at the owning node; -1 = locally born
+  };
+
+  NetDevice(Simulator* sim, Node* peer, int peer_port, Rate rate,
+            Time propagation_delay);
+
+  /// Queues a packet for transmission; control priority preempts data at
+  /// packet boundaries.
+  void enqueue(const Packet& pkt, int in_port);
+
+  /// PFC XOFF: pause the data class for `duration` (extends any current
+  /// pause). Control traffic keeps flowing.
+  void pause_data(Time duration);
+
+  /// PFC XON: cancel the pause immediately.
+  void resume_data();
+
+  bool data_paused() const;
+
+  /// Bytes waiting in the data queue (the CP marking signal).
+  std::int64_t data_queue_bytes() const { return data_bytes_; }
+  std::size_t data_queue_packets() const { return data_q_.size(); }
+  std::int64_t ctrl_queue_bytes() const { return ctrl_bytes_; }
+
+  Rate rate() const { return rate_; }
+  Time propagation_delay() const { return prop_delay_; }
+  Node* peer() const { return peer_; }
+  int peer_port() const { return peer_port_; }
+
+  // ---- monitor counters ----
+  std::int64_t tx_data_bytes() const { return tx_data_bytes_; }
+  std::int64_t tx_ctrl_bytes() const { return tx_ctrl_bytes_; }
+  std::uint64_t tx_data_packets() const { return tx_data_packets_; }
+  /// Total time the data class has spent paused, including the currently
+  /// open pause span up to now().
+  Time paused_time() const;
+  std::uint64_t pause_events() const { return pause_events_; }
+
+  /// Invoked when a packet finishes serialising (leaves the buffer).
+  std::function<void(const Queued&)> on_dequeue;
+
+ private:
+  void try_transmit();
+  void finish_transmit(Queued item);
+
+  Simulator* sim_;
+  Node* peer_;
+  int peer_port_;
+  Rate rate_;
+  Time prop_delay_;
+
+  std::deque<Queued> ctrl_q_;
+  std::deque<Queued> data_q_;
+  std::int64_t ctrl_bytes_ = 0;
+  std::int64_t data_bytes_ = 0;
+  bool busy_ = false;
+
+  Time pause_until_ = 0;
+  Time pause_start_ = 0;
+  Time paused_accum_ = 0;
+  std::uint64_t pause_events_ = 0;
+  std::uint64_t kick_generation_ = 0;
+
+  std::int64_t tx_data_bytes_ = 0;
+  std::int64_t tx_ctrl_bytes_ = 0;
+  std::uint64_t tx_data_packets_ = 0;
+};
+
+}  // namespace paraleon::sim

@@ -1,0 +1,27 @@
+// Base interface for anything attached to a link endpoint.
+#pragma once
+
+#include "sim/packet.hpp"
+
+namespace paraleon::sim {
+
+class Node {
+ public:
+  Node(NodeId id, bool is_switch) : id_(id), is_switch_(is_switch) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// A packet fully arrived on local port `in_port`.
+  virtual void receive(const Packet& pkt, int in_port) = 0;
+
+  NodeId id() const { return id_; }
+  bool is_switch() const { return is_switch_; }
+
+ private:
+  NodeId id_;
+  bool is_switch_;
+};
+
+}  // namespace paraleon::sim

@@ -1,0 +1,102 @@
+// The packet model for the RoCEv2 simulator.
+//
+// One struct covers data segments, per-packet ACKs, CNPs and PFC
+// pause/resume frames; value semantics keep the event queue allocation-free
+// for the packet itself. Control traffic (ACK/CNP/PFC) rides the
+// strict-priority class and is exempt from data-class PFC pause, modelling
+// the priority separation RoCE deployments use for CNPs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace paraleon::sim {
+
+using NodeId = std::uint32_t;
+
+enum class PacketType : std::uint8_t {
+  kData,
+  kAck,        // receiver -> sender, echoes the data timestamp for RTT
+  kCnp,        // DCQCN congestion notification packet
+  kPfcPause,   // link-local: pause the data class on the receiving port
+  kPfcResume,  // link-local: cancel an earlier pause
+};
+
+enum PacketPriority : std::uint8_t {
+  kPriorityControl = 0,  // strict priority, never PFC-paused
+  kPriorityData = 1,
+};
+
+inline constexpr std::uint32_t kAckBytes = 64;
+inline constexpr std::uint32_t kCnpBytes = 64;
+inline constexpr std::uint32_t kPfcFrameBytes = 64;
+
+struct Packet {
+  std::uint64_t flow_id = 0;
+  /// Data-plane measurement key: the QP the flow rides on. Distinct flows
+  /// of a round-based collective reuse the same QP (as NCCL does), so the
+  /// sketch sees one long-lived stream rather than fresh "mice" per round.
+  /// 0 is never used — hosts default it to flow_id for standalone flows.
+  std::uint64_t qp_key = 0;
+  NodeId src = 0;  // source host (unused for PFC frames)
+  NodeId dst = 0;  // destination host (unused for PFC frames)
+  PacketType type = PacketType::kData;
+  std::uint8_t priority = kPriorityData;
+  /// ECN Congestion Experienced, set by a switch CP when marking.
+  bool ecn_ce = false;
+  /// The reclaimed TOS bit of §III-B Keypoint 1: set by the first sketch on
+  /// the path so a flow is inserted into exactly one sketch network-wide.
+  bool sketch_marked = false;
+  std::uint32_t size_bytes = 0;
+  /// Byte offset of this segment within its flow (data), or cumulative
+  /// bytes acknowledged (ACK).
+  std::int64_t offset = 0;
+  /// Injection timestamp at the sending RNIC; echoed back in the ACK.
+  Time sent_time = 0;
+  /// In an ACK: the echoed data-packet timestamp. In a PFC pause frame:
+  /// the pause duration in nanoseconds.
+  std::int64_t aux = 0;
+  /// Remaining hop budget; lets the monitor derive hop counts Swift-style
+  /// (starting TTL minus received TTL).
+  std::uint8_t ttl = 64;
+
+  bool is_control() const { return priority == kPriorityControl; }
+};
+
+inline Packet make_ack(const Packet& data, Time now, std::int64_t acked) {
+  Packet ack;
+  ack.flow_id = data.flow_id;
+  ack.src = data.dst;
+  ack.dst = data.src;
+  ack.type = PacketType::kAck;
+  ack.priority = kPriorityControl;
+  ack.size_bytes = kAckBytes;
+  ack.offset = acked;
+  ack.sent_time = now;
+  ack.aux = data.sent_time;
+  return ack;
+}
+
+inline Packet make_cnp(const Packet& data, Time now) {
+  Packet cnp;
+  cnp.flow_id = data.flow_id;
+  cnp.src = data.dst;
+  cnp.dst = data.src;
+  cnp.type = PacketType::kCnp;
+  cnp.priority = kPriorityControl;
+  cnp.size_bytes = kCnpBytes;
+  cnp.sent_time = now;
+  return cnp;
+}
+
+inline Packet make_pfc(PacketType type, Time pause_duration) {
+  Packet pfc;
+  pfc.type = type;
+  pfc.priority = kPriorityControl;
+  pfc.size_bytes = kPfcFrameBytes;
+  pfc.aux = pause_duration;
+  return pfc;
+}
+
+}  // namespace paraleon::sim

@@ -1,0 +1,24 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace paraleon::sim {
+
+void Simulator::schedule_at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    // Move the callback out before popping so it may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++executed_;
+    ev.cb();
+  }
+  if (t != kTimeNever && now_ < t) now_ = t;
+}
+
+}  // namespace paraleon::sim

@@ -1,0 +1,58 @@
+// Deterministic discrete-event engine.
+//
+// Events are (time, sequence, closure) triples in a binary heap; the
+// sequence number makes same-timestamp events fire in scheduling order, so
+// a run is a pure function of its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace paraleon::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now).
+  void schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` `delta` nanoseconds from now.
+  void schedule_in(Time delta, Callback cb) { schedule_at(now_ + delta, std::move(cb)); }
+
+  /// Runs events until the queue is empty or the clock would pass `t`;
+  /// afterwards now() == t (unless the queue emptied earlier and `t` is
+  /// kTimeNever).
+  void run_until(Time t);
+
+  /// Runs until the event queue is empty.
+  void run() { run_until(kTimeNever); }
+
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace paraleon::sim

@@ -1,0 +1,24 @@
+// Data-plane measurement hook.
+//
+// A ToR switch offers every admitted data packet to its hook (the Elastic
+// Sketch in PARALEON, a NetFlow sampler in the baseline). The hook returns
+// true when it recorded the packet, in which case the switch sets the
+// packet's reclaimed TOS bit so no downstream sketch records it again
+// (§III-B Keypoint 1).
+#pragma once
+
+#include "sim/packet.hpp"
+
+namespace paraleon::sim {
+
+class SketchHook {
+ public:
+  virtual ~SketchHook() = default;
+
+  /// Called for every data packet admitted by the switch whose TOS sketch
+  /// bit is still clear. Returns true if the packet was inserted (and the
+  /// bit should be set).
+  virtual bool on_data_packet(const Packet& pkt) = 0;
+};
+
+}  // namespace paraleon::sim

@@ -1,0 +1,209 @@
+#include "sim/switch_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paraleon::sim {
+namespace {
+
+// 64-bit mix (splitmix64 finaliser) for ECMP / marking hash streams.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SwitchNode::SwitchNode(Simulator* sim, NodeId id, SwitchConfig cfg,
+                       std::uint64_t ecmp_salt)
+    : Node(id, /*is_switch=*/true),
+      sim_(sim),
+      cfg_(cfg),
+      ecmp_salt_(ecmp_salt),
+      mark_stream_(mix(ecmp_salt ^ 0xA5A5A5A5A5A5A5A5ull)) {}
+
+int SwitchNode::add_port(Node* peer, int peer_port, Rate rate,
+                         Time prop_delay) {
+  const int idx = static_cast<int>(ports_.size());
+  ports_.push_back(
+      std::make_unique<NetDevice>(sim_, peer, peer_port, rate, prop_delay));
+  ports_.back()->on_dequeue = [this](const NetDevice::Queued& item) {
+    account_dequeue(item);
+  };
+  ingress_bytes_.push_back(0);
+  pause_sent_.push_back(false);
+  last_pause_sent_.push_back(-kTimeNever / 2);
+  return idx;
+}
+
+void SwitchNode::set_route(NodeId dst, std::vector<int> ports) {
+  assert(!ports.empty());
+  routes_[dst] = std::move(ports);
+}
+
+int SwitchNode::route_port(NodeId dst, std::uint64_t flow_id) const {
+  const auto it = routes_.find(dst);
+  assert(it != routes_.end() && "no route to destination");
+  const auto& candidates = it->second;
+  if (candidates.size() == 1) return candidates[0];
+  const std::uint64_t h = mix(flow_id ^ ecmp_salt_);
+  return candidates[h % candidates.size()];
+}
+
+void SwitchNode::receive(const Packet& pkt, int in_port) {
+  switch (pkt.type) {
+    case PacketType::kPfcPause:
+      // Link-local: the neighbour on `in_port` wants our egress towards it
+      // (the same port index) paused.
+      ports_[in_port]->pause_data(pkt.aux);
+      return;
+    case PacketType::kPfcResume:
+      ports_[in_port]->resume_data();
+      return;
+    case PacketType::kAck:
+    case PacketType::kCnp: {
+      // Control packets bypass the MMU: route and forward immediately.
+      const int out = route_port(pkt.dst, pkt.flow_id);
+      ports_[out]->enqueue(pkt, in_port);
+      return;
+    }
+    case PacketType::kData:
+      admit_data(pkt, in_port);
+      return;
+  }
+}
+
+void SwitchNode::admit_data(Packet pkt, int in_port) {
+  if (used_ + pkt.size_bytes > cfg_.buffer_bytes) {
+    ++drops_;  // lossless fabrics should never get here; counted, not hidden
+    return;
+  }
+  used_ += pkt.size_bytes;
+  ingress_bytes_[in_port] += pkt.size_bytes;
+
+  // Data-plane measurement (Elastic Sketch / NetFlow) with TOS dedup.
+  if (sketch_ != nullptr && !pkt.sketch_marked) {
+    if (sketch_->on_data_packet(pkt)) pkt.sketch_marked = true;
+  }
+
+  const int out = route_port(pkt.dst, pkt.flow_id);
+  maybe_mark_ecn(pkt, *ports_[out]);
+  ports_[out]->enqueue(pkt, in_port);
+
+  if (cfg_.pfc_enabled) check_pfc_xoff(in_port);
+}
+
+void SwitchNode::account_dequeue(const NetDevice::Queued& item) {
+  if (item.pkt.is_control() || item.in_port < 0) return;
+  used_ -= item.pkt.size_bytes;
+  ingress_bytes_[item.in_port] -= item.pkt.size_bytes;
+  assert(used_ >= 0 && ingress_bytes_[item.in_port] >= 0);
+  if (cfg_.pfc_enabled) check_pfc_xon(item.in_port);
+}
+
+void SwitchNode::maybe_mark_ecn(Packet& pkt, const NetDevice& egress) {
+  const std::int64_t q = egress.data_queue_bytes();
+  double p = 0.0;
+  if (q >= ecn_.kmax_bytes) {
+    p = 1.0;
+  } else if (q > ecn_.kmin_bytes) {
+    p = ecn_.pmax * static_cast<double>(q - ecn_.kmin_bytes) /
+        static_cast<double>(std::max<std::int64_t>(
+            1, ecn_.kmax_bytes - ecn_.kmin_bytes));
+  }
+  if (p <= 0.0) return;
+  mark_stream_ = mix(mark_stream_ + 0x9E3779B97F4A7C15ull);
+  const double u =
+      static_cast<double>(mark_stream_ >> 11) * 0x1.0p-53;  // [0,1)
+  if (u < p) {
+    pkt.ecn_ce = true;
+    ++ecn_marks_;
+  }
+}
+
+std::int64_t SwitchNode::xoff_threshold() const {
+  return static_cast<std::int64_t>(
+      cfg_.pfc_alpha *
+      static_cast<double>(std::max<std::int64_t>(0, cfg_.buffer_bytes - used_)));
+}
+
+void SwitchNode::check_pfc_xoff(int in_port) {
+  if (ingress_bytes_[in_port] <= xoff_threshold()) return;
+  // Refresh even when a pause is already outstanding: if our own egress is
+  // blocked (nothing dequeues), the upstream would otherwise resume when
+  // the XOFF quanta lapse and flood an already-full buffer. Rate-limited
+  // to half the quanta.
+  if (pause_sent_[in_port] &&
+      sim_->now() - last_pause_sent_[in_port] < cfg_.pfc_pause_duration / 2) {
+    return;
+  }
+  pause_sent_[in_port] = true;
+  last_pause_sent_[in_port] = sim_->now();
+  ++pfc_sent_count_;
+  ports_[in_port]->enqueue(
+      make_pfc(PacketType::kPfcPause, cfg_.pfc_pause_duration), -1);
+  ensure_pause_scan();
+}
+
+void SwitchNode::ensure_pause_scan() {
+  // While any pause is latched, a periodic scan keeps upstreams paused
+  // (and releases them) even when our own egress is blocked and no
+  // enqueue/dequeue events fire on the paused ingress. Real switches do
+  // the same: watermark-driven pause frames are re-emitted continuously.
+  if (pause_scan_active_) return;
+  pause_scan_active_ = true;
+  sim_->schedule_in(cfg_.pfc_pause_duration / 2, [this] { pause_scan(); });
+}
+
+void SwitchNode::pause_scan() {
+  bool any = false;
+  const std::int64_t resume_below =
+      std::max<std::int64_t>(0, xoff_threshold() - 2 * cfg_.mtu_bytes);
+  for (int i = 0; i < static_cast<int>(ports_.size()); ++i) {
+    if (!pause_sent_[i]) continue;
+    if (ingress_bytes_[i] < resume_below) {
+      pause_sent_[i] = false;
+      ports_[i]->enqueue(make_pfc(PacketType::kPfcResume, 0), -1);
+      continue;
+    }
+    any = true;
+    if (sim_->now() - last_pause_sent_[i] >= cfg_.pfc_pause_duration / 2) {
+      last_pause_sent_[i] = sim_->now();
+      ports_[i]->enqueue(
+          make_pfc(PacketType::kPfcPause, cfg_.pfc_pause_duration), -1);
+    }
+  }
+  if (any) {
+    sim_->schedule_in(cfg_.pfc_pause_duration / 2, [this] { pause_scan(); });
+  } else {
+    pause_scan_active_ = false;
+  }
+}
+
+void SwitchNode::check_pfc_xon(int in_port) {
+  if (!pause_sent_[in_port]) return;
+  const std::int64_t resume_below =
+      std::max<std::int64_t>(0, xoff_threshold() - 2 * cfg_.mtu_bytes);
+  if (ingress_bytes_[in_port] >= resume_below) {
+    // Still above the resume watermark: refresh the pause (rate-limited to
+    // half the quanta) so the upstream does not restart mid-congestion.
+    if (sim_->now() - last_pause_sent_[in_port] >=
+        cfg_.pfc_pause_duration / 2) {
+      last_pause_sent_[in_port] = sim_->now();
+      ports_[in_port]->enqueue(
+          make_pfc(PacketType::kPfcPause, cfg_.pfc_pause_duration), -1);
+    }
+    return;
+  }
+  pause_sent_[in_port] = false;
+  ports_[in_port]->enqueue(make_pfc(PacketType::kPfcResume, 0), -1);
+}
+
+Time SwitchNode::total_paused_time() const {
+  Time t = 0;
+  for (const auto& p : ports_) t += p->paused_time();
+  return t;
+}
+
+}  // namespace paraleon::sim

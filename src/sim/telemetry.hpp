@@ -1,0 +1,68 @@
+// Queue-depth telemetry: periodic sampling of egress data-queue depths,
+// for queue-dynamics analysis (the mechanism behind the ECN-threshold
+// figures) and for validating MMU behaviour in tests.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/time.hpp"
+#include "sim/net_device.hpp"
+#include "sim/simulator.hpp"
+#include "stats/timeseries.hpp"
+
+namespace paraleon::sim {
+
+class QueueTelemetry {
+ public:
+  QueueTelemetry(Simulator* sim, Time interval)
+      : sim_(sim), interval_(interval) {}
+
+  /// Registers a device to sample. Call before start().
+  void watch(const std::string& label, const NetDevice* dev) {
+    watched_[label] = dev;
+  }
+
+  /// Samples every `interval` until `until` (bounded so simulations that
+  /// run the queue dry still terminate).
+  void start(Time until) {
+    until_ = until;
+    sim_->schedule_in(interval_, [this] { sample(); });
+  }
+
+  const stats::TimeSeries& series(const std::string& label) const {
+    static const stats::TimeSeries kEmpty;
+    const auto it = series_.find(label);
+    return it == series_.end() ? kEmpty : it->second;
+  }
+
+  /// Peak sampled depth in bytes (0 if never sampled).
+  std::int64_t max_depth(const std::string& label) const {
+    std::int64_t peak = 0;
+    const auto it = series_.find(label);
+    if (it == series_.end()) return 0;
+    for (const auto& p : it->second.points()) {
+      peak = std::max<std::int64_t>(peak, static_cast<std::int64_t>(p.value));
+    }
+    return peak;
+  }
+
+ private:
+  void sample() {
+    for (const auto& [label, dev] : watched_) {
+      series_[label].add(sim_->now(),
+                         static_cast<double>(dev->data_queue_bytes()));
+    }
+    if (sim_->now() + interval_ <= until_) {
+      sim_->schedule_in(interval_, [this] { sample(); });
+    }
+  }
+
+  Simulator* sim_;
+  Time interval_;
+  Time until_ = 0;
+  std::map<std::string, const NetDevice*> watched_;
+  std::map<std::string, stats::TimeSeries> series_;
+};
+
+}  // namespace paraleon::sim

@@ -1,0 +1,135 @@
+#include "sim/topology.hpp"
+
+#include <cassert>
+
+namespace paraleon::sim {
+
+namespace {
+constexpr NodeId kTorIdBase = 100000;
+constexpr NodeId kLeafIdBase = 200000;
+}  // namespace
+
+ClosTopology::ClosTopology(Simulator* sim, const ClosConfig& cfg)
+    : sim_(sim), cfg_(cfg) {
+  assert(cfg.n_tor > 0 && cfg.n_leaf > 0 && cfg.hosts_per_tor > 0);
+  const int n_hosts = cfg.n_tor * cfg.hosts_per_tor;
+
+  for (int i = 0; i < n_hosts; ++i) {
+    hosts_.push_back(std::make_unique<HostNode>(
+        sim_, static_cast<NodeId>(i), cfg.dcqcn));
+  }
+  for (int i = 0; i < cfg.n_tor; ++i) {
+    tors_.push_back(std::make_unique<SwitchNode>(
+        sim_, kTorIdBase + i, cfg.switch_cfg,
+        cfg.seed * 0x100000001B3ull + static_cast<std::uint64_t>(i)));
+    tors_.back()->set_ecn(EcnConfig{cfg.dcqcn.kmin_bytes,
+                                    cfg.dcqcn.kmax_bytes, cfg.dcqcn.pmax});
+  }
+  for (int i = 0; i < cfg.n_leaf; ++i) {
+    leaves_.push_back(std::make_unique<SwitchNode>(
+        sim_, kLeafIdBase + i, cfg.switch_cfg,
+        cfg.seed * 0xC2B2AE3D27D4EB4Full + static_cast<std::uint64_t>(i)));
+    leaves_.back()->set_ecn(EcnConfig{cfg.dcqcn.kmin_bytes,
+                                      cfg.dcqcn.kmax_bytes, cfg.dcqcn.pmax});
+  }
+
+  // Host <-> ToR links. ToR port h (0 <= h < hosts_per_tor) faces its h-th
+  // host; the host's single port index is 0.
+  for (int h = 0; h < n_hosts; ++h) {
+    const int t = tor_of_host(h);
+    const int tor_port = tors_[t]->add_port(hosts_[h].get(), /*peer_port=*/0,
+                                            cfg.host_link, cfg.prop_delay);
+    assert(tor_port == h % cfg.hosts_per_tor);
+    hosts_[h]->attach_uplink(tors_[t].get(), tor_port, cfg.host_link,
+                             cfg.prop_delay);
+  }
+
+  // ToR <-> leaf full mesh. ToR uplink ports follow the host-facing ports:
+  // port (hosts_per_tor + l) faces leaf l; leaf port t faces ToR t.
+  for (int t = 0; t < cfg.n_tor; ++t) {
+    for (int l = 0; l < cfg.n_leaf; ++l) {
+      // Leaf ports are added in (t-major) order, so leaf l's port to ToR t
+      // is simply t; ToR t's port to leaf l is hosts_per_tor + l.
+      const int tor_port = cfg.hosts_per_tor + l;
+      const int leaf_port = t;
+      const int got_tor_port = tors_[t]->add_port(
+          leaves_[l].get(), leaf_port, cfg.fabric_link, cfg.prop_delay);
+      assert(got_tor_port == tor_port);
+      (void)got_tor_port;
+      const int got_leaf_port = leaves_[l]->add_port(
+          tors_[t].get(), tor_port, cfg.fabric_link, cfg.prop_delay);
+      assert(got_leaf_port == leaf_port);
+      (void)got_leaf_port;
+    }
+  }
+  // The loop above interleaves add_port calls per (t, l); re-derive the
+  // leaf port layout explicitly: leaf l gains its ports in t order, which
+  // matches leaf_port == t because for fixed l, t ascends.
+
+  // Routes. Destinations are host ids.
+  std::vector<int> all_uplinks;
+  for (int l = 0; l < cfg.n_leaf; ++l)
+    all_uplinks.push_back(cfg.hosts_per_tor + l);
+  for (int dst = 0; dst < n_hosts; ++dst) {
+    const int dst_tor = tor_of_host(dst);
+    for (int t = 0; t < cfg.n_tor; ++t) {
+      if (t == dst_tor) {
+        tors_[t]->set_route(static_cast<NodeId>(dst),
+                            {dst % cfg.hosts_per_tor});
+      } else {
+        tors_[t]->set_route(static_cast<NodeId>(dst), all_uplinks);
+      }
+    }
+    for (int l = 0; l < cfg.n_leaf; ++l) {
+      leaves_[l]->set_route(static_cast<NodeId>(dst), {dst_tor});
+    }
+  }
+
+  // Base-RTT callbacks for the monitor's normalised-RTT metric.
+  for (int h = 0; h < n_hosts; ++h) {
+    hosts_[h]->set_base_rtt_fn([this, h](NodeId peer) {
+      return base_rtt(h, static_cast<int>(peer));
+    });
+  }
+}
+
+int ClosTopology::hop_count(int a, int b) const {
+  if (a == b) return 0;
+  return tor_of_host(a) == tor_of_host(b) ? 2 : 4;
+}
+
+Time ClosTopology::base_rtt(int a, int b) const {
+  return 2 * hop_count(a, b) * cfg_.prop_delay;
+}
+
+Time ClosTopology::ideal_fct(std::int64_t size_bytes, int a, int b) const {
+  // Serialisation of the whole flow at the host line rate plus the one-way
+  // base path delay of the last byte (the flow pipeline overlaps per-hop
+  // serialisation with injection).
+  return serialization_time(size_bytes, cfg_.host_link) +
+         hop_count(a, b) * cfg_.prop_delay;
+}
+
+void ClosTopology::set_dcqcn_params_all(const dcqcn::DcqcnParams& p) {
+  for (auto& h : hosts_) h->set_dcqcn_params(p);
+  const EcnConfig ecn{p.kmin_bytes, p.kmax_bytes, p.pmax};
+  for (auto& t : tors_) t->set_ecn(ecn);
+  for (auto& l : leaves_) l->set_ecn(ecn);
+}
+
+Time ClosTopology::total_paused_time() const {
+  Time total = 0;
+  for (const auto& h : hosts_) total += h->uplink().paused_time();
+  for (const auto& t : tors_) total += t->total_paused_time();
+  for (const auto& l : leaves_) total += l->total_paused_time();
+  return total;
+}
+
+std::uint64_t ClosTopology::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tors_) total += t->drops();
+  for (const auto& l : leaves_) total += l->drops();
+  return total;
+}
+
+}  // namespace paraleon::sim

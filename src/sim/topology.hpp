@@ -1,0 +1,76 @@
+// Two-tier CLOS fabric builder (the paper's simulation and testbed
+// topology): `n_tor` ToR switches each hosting `hosts_per_tor` servers, all
+// ToRs connected to all `n_leaf` leaf switches, ECMP across the fabric.
+//
+// Oversubscription follows from the port counts: the paper's NS3 setup is
+// 8 ToR x 16 hosts with 4 leaves and one 100 Gbps uplink per (ToR, leaf)
+// pair => 4:1. Scaled-down bench configurations shrink counts and rates
+// proportionally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dcqcn/params.hpp"
+#include "sim/host_node.hpp"
+#include "sim/simulator.hpp"
+#include "sim/switch_node.hpp"
+
+namespace paraleon::sim {
+
+struct ClosConfig {
+  int n_tor = 8;
+  int n_leaf = 4;
+  int hosts_per_tor = 16;
+  Rate host_link = gbps(100);
+  Rate fabric_link = gbps(100);
+  Time prop_delay = microseconds(5);  // paper: 5 us per link
+  SwitchConfig switch_cfg;
+  dcqcn::DcqcnParams dcqcn;  // initial parameters everywhere
+  std::uint64_t seed = 1;
+};
+
+class ClosTopology {
+ public:
+  ClosTopology(Simulator* sim, const ClosConfig& cfg);
+
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  int tor_count() const { return static_cast<int>(tors_.size()); }
+  int leaf_count() const { return static_cast<int>(leaves_.size()); }
+
+  HostNode& host(int i) { return *hosts_[i]; }
+  SwitchNode& tor(int i) { return *tors_[i]; }
+  SwitchNode& leaf(int i) { return *leaves_[i]; }
+  const ClosConfig& config() const { return cfg_; }
+
+  int tor_of_host(int host) const { return host / cfg_.hosts_per_tor; }
+
+  /// One-way hop count (number of links) between two hosts.
+  int hop_count(int a, int b) const;
+
+  /// Idle-network RTT between two hosts: 2 * hops * propagation delay
+  /// (the Swift-style base path delay of the utility function).
+  Time base_rtt(int a, int b) const;
+
+  /// Idle-network FCT: serialisation at the host line rate + base RTT.
+  Time ideal_fct(std::int64_t size_bytes, int a, int b) const;
+
+  /// Installs `p` on every RNIC and every switch's ECN config — what the
+  /// centralised controller does when dispatching a new setting.
+  void set_dcqcn_params_all(const dcqcn::DcqcnParams& p);
+
+  /// Sum of PFC paused time across every device (hosts + switches).
+  Time total_paused_time() const;
+  /// Total data-plane drops across all switches (0 in a healthy run).
+  std::uint64_t total_drops() const;
+
+ private:
+  Simulator* sim_;
+  ClosConfig cfg_;
+  std::vector<std::unique_ptr<HostNode>> hosts_;
+  std::vector<std::unique_ptr<SwitchNode>> tors_;
+  std::vector<std::unique_ptr<SwitchNode>> leaves_;
+};
+
+}  // namespace paraleon::sim

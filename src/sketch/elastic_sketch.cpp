@@ -1,0 +1,97 @@
+#include "sketch/elastic_sketch.hpp"
+
+#include <cassert>
+
+namespace paraleon::sketch {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+ElasticSketch::ElasticSketch(const ElasticSketchConfig& cfg)
+    : cfg_(cfg), heavy_(cfg.heavy_buckets), light_(cfg.light_counters, 0) {
+  assert(cfg.heavy_buckets > 0 && cfg.light_counters > 0);
+}
+
+std::size_t ElasticSketch::heavy_index(std::uint64_t key) const {
+  return mix(key) % heavy_.size();
+}
+
+std::size_t ElasticSketch::light_index(std::uint64_t key) const {
+  return mix(key ^ 0x9E3779B97F4A7C15ull) % light_.size();
+}
+
+bool ElasticSketch::on_data_packet(const sim::Packet& pkt) {
+  insert(pkt.qp_key != 0 ? pkt.qp_key : pkt.flow_id, pkt.size_bytes);
+  return cfg_.use_tos_marking;
+}
+
+void ElasticSketch::insert(std::uint64_t flow_id, std::int64_t bytes) {
+  ++insertions_;
+  Bucket& b = heavy_[heavy_index(flow_id)];
+  if (!b.occupied) {
+    b = Bucket{flow_id, bytes, 0, false, true};
+    return;
+  }
+  if (b.key == flow_id) {
+    b.vote_pos += bytes;
+    return;
+  }
+  b.vote_neg += bytes;
+  if (static_cast<double>(b.vote_neg) >=
+      cfg_.lambda * static_cast<double>(b.vote_pos)) {
+    // Ostracism: the resident flow has been outvoted — demote it to the
+    // light part and let the newcomer take the bucket. The newcomer's
+    // earlier bytes (if any) are already in the light part, hence flag.
+    light_add(b.key, b.vote_pos);
+    ++evictions_;
+    b = Bucket{flow_id, bytes, 0, /*flag=*/true, true};
+  } else {
+    light_add(flow_id, bytes);
+  }
+}
+
+void ElasticSketch::light_add(std::uint64_t key, std::int64_t bytes) {
+  light_[light_index(key)] += bytes;
+}
+
+std::int64_t ElasticSketch::light_query(std::uint64_t key) const {
+  return light_[light_index(key)];
+}
+
+std::int64_t ElasticSketch::query(std::uint64_t flow_id) const {
+  const Bucket& b = heavy_[heavy_index(flow_id)];
+  if (b.occupied && b.key == flow_id) {
+    return b.vote_pos + (b.flag ? light_query(flow_id) : 0);
+  }
+  return light_query(flow_id);
+}
+
+std::vector<HeavyRecord> ElasticSketch::heavy_flows() const {
+  std::vector<HeavyRecord> out;
+  out.reserve(heavy_.size() / 4);
+  for (const Bucket& b : heavy_) {
+    if (!b.occupied) continue;
+    out.push_back({b.key, b.vote_pos + (b.flag ? light_query(b.key) : 0)});
+  }
+  return out;
+}
+
+void ElasticSketch::reset() {
+  for (Bucket& b : heavy_) b = Bucket{};
+  for (auto& c : light_) c = 0;
+}
+
+std::size_t ElasticSketch::memory_bytes() const {
+  return heavy_.size() * sizeof(Bucket) + light_.size() * sizeof(std::int64_t);
+}
+
+}  // namespace paraleon::sketch

@@ -1,0 +1,2 @@
+// NetFlow and ExactFlowTable are header-only; this TU anchors the library.
+#include "sketch/netflow.hpp"

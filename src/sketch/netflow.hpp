@@ -1,0 +1,80 @@
+// NetFlow-style sampled flow measurement — the commodity-switch monitoring
+// baseline of §IV-B3: 1:N packet sampling, O(seconds) export interval, no
+// network-wide dedup (every switch on the path samples independently).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/sketch_hook.hpp"
+#include "sketch/elastic_sketch.hpp"  // HeavyRecord
+
+namespace paraleon::sketch {
+
+struct NetFlowConfig {
+  /// 1:sampling_rate packet sampling (paper: 1:100).
+  std::uint32_t sampling_rate = 100;
+  std::uint64_t seed = 1;
+};
+
+class NetFlow final : public sim::SketchHook {
+ public:
+  explicit NetFlow(const NetFlowConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed) {}
+
+  bool on_data_packet(const sim::Packet& pkt) override {
+    if (rng_.chance(1.0 / static_cast<double>(cfg_.sampling_rate))) {
+      // Scale the sampled bytes back up to an unbiased size estimate.
+      flows_[pkt.qp_key != 0 ? pkt.qp_key : pkt.flow_id] +=
+          static_cast<std::int64_t>(pkt.size_bytes) * cfg_.sampling_rate;
+    }
+    return false;  // NetFlow has no single-insertion marking
+  }
+
+  /// Export: estimated per-flow byte counts since the last reset.
+  std::vector<HeavyRecord> flows() const {
+    std::vector<HeavyRecord> out;
+    out.reserve(flows_.size());
+    for (const auto& [id, bytes] : flows_) out.push_back({id, bytes});
+    return out;
+  }
+
+  void reset() { flows_.clear(); }
+  std::size_t tracked_flows() const { return flows_.size(); }
+
+ private:
+  NetFlowConfig cfg_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, std::int64_t> flows_;
+};
+
+/// Exact per-flow byte counter — ground truth for accuracy evaluation and a
+/// stand-in for hypothetical per-QP RNIC counters (§V "Relaxation").
+class ExactFlowTable final : public sim::SketchHook {
+ public:
+  bool on_data_packet(const sim::Packet& pkt) override {
+    flows_[pkt.qp_key != 0 ? pkt.qp_key : pkt.flow_id] += pkt.size_bytes;
+    return false;
+  }
+  void insert(std::uint64_t flow_id, std::int64_t bytes) {
+    flows_[flow_id] += bytes;
+  }
+  std::int64_t query(std::uint64_t flow_id) const {
+    const auto it = flows_.find(flow_id);
+    return it == flows_.end() ? 0 : it->second;
+  }
+  std::vector<HeavyRecord> flows() const {
+    std::vector<HeavyRecord> out;
+    out.reserve(flows_.size());
+    for (const auto& [id, bytes] : flows_) out.push_back({id, bytes});
+    return out;
+  }
+  void reset() { flows_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::int64_t> flows_;
+};
+
+}  // namespace paraleon::sketch

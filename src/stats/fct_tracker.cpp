@@ -1,0 +1,67 @@
+#include "stats/fct_tracker.hpp"
+
+#include <algorithm>
+
+namespace paraleon::stats {
+
+void FctTracker::on_flow_start(std::uint64_t flow_id, std::uint32_t src,
+                               std::uint32_t dst, std::int64_t size_bytes,
+                               Time start) {
+  FlowRecord rec;
+  rec.flow_id = flow_id;
+  rec.src = src;
+  rec.dst = dst;
+  rec.size_bytes = size_bytes;
+  rec.start = start;
+  flows_[flow_id] = rec;
+}
+
+void FctTracker::on_flow_finish(std::uint64_t flow_id, Time finish) {
+  auto it = flows_.find(flow_id);
+  if (it == flows_.end() || it->second.finish >= 0) return;
+  it->second.finish = finish;
+  ++finished_;
+}
+
+std::vector<FlowRecord> FctTracker::completed() const {
+  std::vector<FlowRecord> out;
+  out.reserve(finished_);
+  for (const auto& [id, rec] : flows_) {
+    if (rec.finish >= 0) out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<double> FctTracker::fct_seconds(std::int64_t min_size,
+                                            std::int64_t max_size) const {
+  std::vector<double> out;
+  for (const auto& [id, rec] : flows_) {
+    if (rec.finish < 0) continue;
+    if (rec.size_bytes < min_size || rec.size_bytes >= max_size) continue;
+    out.push_back(to_sec(rec.finish - rec.start));
+  }
+  return out;
+}
+
+std::vector<double> FctTracker::slowdowns(std::int64_t min_size,
+                                          std::int64_t max_size) const {
+  std::vector<double> out;
+  for (const auto& [id, rec] : flows_) {
+    if (rec.finish < 0) continue;
+    if (rec.size_bytes < min_size || rec.size_bytes >= max_size) continue;
+    const Time ideal = std::max<Time>(1, ideal_(rec.size_bytes, rec.src, rec.dst));
+    out.push_back(static_cast<double>(rec.finish - rec.start) /
+                  static_cast<double>(ideal));
+  }
+  return out;
+}
+
+std::vector<FlowRecord> FctTracker::unfinished() const {
+  std::vector<FlowRecord> out;
+  for (const auto& [id, rec] : flows_) {
+    if (rec.finish < 0) out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace paraleon::stats

@@ -1,0 +1,63 @@
+// Flow-completion-time bookkeeping used by every evaluation experiment.
+//
+// Slowdown follows the paper's Fig. 7 convention: measured FCT divided by
+// the ideal FCT of the same flow on an idle network (serialisation at the
+// bottleneck line rate plus the base propagation RTT).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace paraleon::stats {
+
+struct FlowRecord {
+  std::uint64_t flow_id = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::int64_t size_bytes = 0;
+  Time start = 0;
+  Time finish = -1;  // -1 while in flight
+};
+
+class FctTracker {
+ public:
+  /// `ideal_fct` maps (size, src, dst) to the idle-network FCT used as the
+  /// slowdown denominator.
+  using IdealFn =
+      std::function<Time(std::int64_t size, std::uint32_t src, std::uint32_t dst)>;
+
+  explicit FctTracker(IdealFn ideal_fct) : ideal_(std::move(ideal_fct)) {}
+
+  void on_flow_start(std::uint64_t flow_id, std::uint32_t src,
+                     std::uint32_t dst, std::int64_t size_bytes, Time start);
+  void on_flow_finish(std::uint64_t flow_id, Time finish);
+
+  std::size_t started() const { return flows_.size(); }
+  std::size_t finished() const { return finished_; }
+
+  /// All completed flows (unordered).
+  std::vector<FlowRecord> completed() const;
+
+  /// FCTs in seconds of completed flows whose size falls in
+  /// [min_size, max_size).
+  std::vector<double> fct_seconds(std::int64_t min_size,
+                                  std::int64_t max_size) const;
+
+  /// Slowdowns of completed flows in the size band.
+  std::vector<double> slowdowns(std::int64_t min_size,
+                                std::int64_t max_size) const;
+
+  /// Records of flows still running at `now` (for truncated experiments).
+  std::vector<FlowRecord> unfinished() const;
+
+ private:
+  IdealFn ideal_;
+  std::unordered_map<std::uint64_t, FlowRecord> flows_;
+  std::size_t finished_ = 0;
+};
+
+}  // namespace paraleon::stats

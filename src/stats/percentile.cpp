@@ -1,0 +1,60 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paraleon::stats {
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::vector<double> ecdf_at(const std::vector<double>& values,
+                            const std::vector<double>& points) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), p);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> cdf_curve(std::vector<double> values,
+                                                 std::size_t n) {
+  std::vector<std::pair<double, double>> out;
+  if (values.empty() || n == 0) return out;
+  std::sort(values.begin(), values.end());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac =
+        n == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    const auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(values.size() - 1));
+    out.emplace_back(values[idx],
+                     static_cast<double>(idx + 1) /
+                         static_cast<double>(values.size()));
+  }
+  return out;
+}
+
+}  // namespace paraleon::stats

@@ -1,0 +1,25 @@
+// Small numeric helpers shared by the trackers and bench reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace paraleon::stats {
+
+/// q-quantile (q in [0,1]) with linear interpolation between order
+/// statistics. Returns 0 for an empty sample. Copies and sorts.
+double quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& values);
+
+/// Empirical CDF evaluated at `points`: fraction of values <= point.
+std::vector<double> ecdf_at(const std::vector<double>& values,
+                            const std::vector<double>& points);
+
+/// `n` evenly spaced CDF sample points covering [min, max] of the data,
+/// returned as (value, cumulative fraction) pairs. Empty input -> empty.
+std::vector<std::pair<double, double>> cdf_curve(std::vector<double> values,
+                                                 std::size_t n);
+
+}  // namespace paraleon::stats

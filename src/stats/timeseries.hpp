@@ -1,0 +1,39 @@
+// Fixed-interval time series, used for the runtime throughput/RTT plots
+// (Figs. 8, 9, 14) and for the SA convergence traces (Fig. 12).
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace paraleon::stats {
+
+struct TimePoint {
+  Time t = 0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  void add(Time t, double value) { points_.push_back({t, value}); }
+  const std::vector<TimePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Mean of values with t in [from, to).
+  double mean_in(Time from, Time to) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& p : points_) {
+      if (p.t >= from && p.t < to) {
+        sum += p.value;
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace paraleon::stats

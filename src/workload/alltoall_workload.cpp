@@ -1,0 +1,59 @@
+#include "workload/alltoall_workload.hpp"
+
+#include <cassert>
+
+namespace paraleon::workload {
+
+AlltoallWorkload::AlltoallWorkload(const AlltoallConfig& cfg) : cfg_(cfg) {
+  assert(cfg_.workers.size() >= 2);
+  assert(cfg_.flow_size > 0);
+}
+
+void AlltoallWorkload::install(sim::Simulator& sim, StartFlowFn start) {
+  sim_ = &sim;
+  start_ = std::move(start);
+  sim.schedule_at(cfg_.start, [this] { start_round(sim_->now()); });
+}
+
+void AlltoallWorkload::start_round(Time now) {
+  if (now >= cfg_.stop) return;
+  if (cfg_.max_rounds > 0 && rounds_started_ >= cfg_.max_rounds) return;
+  ++rounds_started_;
+  round_start_ = now;
+  std::uint64_t pair = 0;
+  for (int src : cfg_.workers) {
+    for (int dst : cfg_.workers) {
+      if (src == dst) continue;
+      FlowSpec flow;
+      flow.flow_id = cfg_.flow_id_base + next_flow_++;
+      // Every round reuses the same per-pair QP, as NCCL does, so the
+      // data-plane sketches see one long-lived stream per pair.
+      flow.qp_key = cfg_.flow_id_base + (1ull << 24) + pair++;
+      flow.src = src;
+      flow.dst = dst;
+      flow.size_bytes = cfg_.flow_size;
+      outstanding_.insert(flow.flow_id);
+      start_(flow);
+    }
+  }
+}
+
+void AlltoallWorkload::on_flow_complete(std::uint64_t flow_id, Time now) {
+  if (outstanding_.erase(flow_id) == 0) return;
+  if (!outstanding_.empty()) return;
+  // Round finished: record and schedule the next ON phase after the
+  // compute (OFF) period.
+  round_times_.push_back(now - round_start_);
+  sim_->schedule_in(cfg_.off_period, [this] { start_round(sim_->now()); });
+}
+
+double AlltoallWorkload::round_algbw_gbs(int i) const {
+  const Time t = round_times_.at(static_cast<std::size_t>(i));
+  if (t <= 0) return 0.0;
+  const double bytes_per_rank =
+      static_cast<double>(cfg_.flow_size) *
+      static_cast<double>(cfg_.workers.size() - 1);
+  return bytes_per_rank / (static_cast<double>(t) / 1e9) / 1e9;
+}
+
+}  // namespace paraleon::workload

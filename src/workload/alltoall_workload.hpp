@@ -1,0 +1,61 @@
+// ON-OFF alltoall collective — the LLM training workload of §IV-B and the
+// NCCL alltoall of the testbed experiments.
+//
+// During an ON round every worker sends `flow_size` bytes to every other
+// worker (the alltoall the paper chooses for its incast-heavy pattern);
+// when the last flow of the round completes, the workers "compute" for
+// `off_period` (model update) and the next round starts. Round completion
+// times are recorded so benches can report per-round algorithmic bandwidth
+// (NCCL algbw convention: bytes moved per rank / round time).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace paraleon::workload {
+
+struct AlltoallConfig {
+  std::vector<int> workers;
+  std::int64_t flow_size = 12 << 20;  // paper: 12 MB per pair
+  Time off_period = milliseconds(20);
+  Time start = 0;
+  /// No new rounds start at or after this time.
+  Time stop = kTimeNever;
+  /// 0 = unlimited rounds until `stop`.
+  int max_rounds = 0;
+  std::uint64_t flow_id_base = 0;
+};
+
+class AlltoallWorkload final : public Workload {
+ public:
+  explicit AlltoallWorkload(const AlltoallConfig& cfg);
+
+  void install(sim::Simulator& sim, StartFlowFn start) override;
+  void on_flow_complete(std::uint64_t flow_id, Time now) override;
+
+  int rounds_completed() const { return static_cast<int>(round_times_.size()); }
+  /// Wall time of each completed round (ON phase only).
+  const std::vector<Time>& round_times() const { return round_times_; }
+  bool round_in_progress() const { return !outstanding_.empty(); }
+
+  /// NCCL-style algorithmic bandwidth of round `i` in GB/s: bytes each rank
+  /// exchanges, divided by the round time.
+  double round_algbw_gbs(int i) const;
+
+ private:
+  void start_round(Time now);
+
+  AlltoallConfig cfg_;
+  sim::Simulator* sim_ = nullptr;
+  StartFlowFn start_;
+  std::uint64_t next_flow_ = 0;
+  int rounds_started_ = 0;
+  Time round_start_ = 0;
+  std::unordered_set<std::uint64_t> outstanding_;
+  std::vector<Time> round_times_;
+};
+
+}  // namespace paraleon::workload

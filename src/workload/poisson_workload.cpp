@@ -1,0 +1,48 @@
+#include "workload/poisson_workload.hpp"
+
+#include <cassert>
+
+namespace paraleon::workload {
+
+PoissonWorkload::PoissonWorkload(const PoissonConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  assert(cfg_.hosts.size() >= 2);
+  assert(cfg_.sizes != nullptr);
+  assert(cfg_.load > 0.0 && cfg_.load <= 1.0);
+}
+
+Time PoissonWorkload::mean_interarrival() const {
+  const double lambda = cfg_.load * cfg_.host_rate *
+                        static_cast<double>(cfg_.hosts.size()) /
+                        (8.0 * cfg_.sizes->mean_bytes());
+  return static_cast<Time>(1e9 / lambda);
+}
+
+void PoissonWorkload::install(sim::Simulator& sim, StartFlowFn start) {
+  start_ = std::move(start);
+  sim.schedule_at(cfg_.start, [this, &sim] { schedule_next(sim); });
+}
+
+void PoissonWorkload::schedule_next(sim::Simulator& sim) {
+  const Time now = sim.now();
+  if (now >= cfg_.stop) return;
+
+  const int n = static_cast<int>(cfg_.hosts.size());
+  const int src_idx = static_cast<int>(rng_.uniform_index(n));
+  int dst_idx = static_cast<int>(rng_.uniform_index(n - 1));
+  if (dst_idx >= src_idx) ++dst_idx;
+
+  FlowSpec flow;
+  flow.flow_id = cfg_.flow_id_base + next_flow_++;
+  flow.src = cfg_.hosts[src_idx];
+  flow.dst = cfg_.hosts[dst_idx];
+  flow.size_bytes = cfg_.sizes->sample(rng_);
+  start_(flow);
+
+  const Time gap = std::max<Time>(
+      1, static_cast<Time>(rng_.exponential(
+             static_cast<double>(mean_interarrival()))));
+  sim.schedule_in(gap, [this, &sim] { schedule_next(sim); });
+}
+
+}  // namespace paraleon::workload

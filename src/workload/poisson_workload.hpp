@@ -1,0 +1,55 @@
+// Open-loop Poisson traffic at a target load over an empirical size
+// distribution — the FB_Hadoop and SolarRPC generators of the evaluation.
+//
+// The arrival rate is derived from the target per-host uplink load:
+//   lambda = load * host_rate_bps * n_hosts / (8 * mean_flow_bytes)
+// Sources and (distinct) destinations are uniform over the host set, the
+// standard ns-3 RDMA harness convention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/size_distribution.hpp"
+#include "workload/workload.hpp"
+
+namespace paraleon::workload {
+
+struct PoissonConfig {
+  /// Hosts participating (ids into the topology).
+  std::vector<int> hosts;
+  const SizeDistribution* sizes = nullptr;
+  /// Target average uplink load in (0, 1].
+  double load = 0.3;
+  Rate host_rate = gbps(100);
+  Time start = 0;
+  /// No arrivals at or after this time (flows may finish later).
+  Time stop = kTimeNever;
+  std::uint64_t seed = 1;
+  /// Flow ids are allocated as base + counter; the runner keeps bases of
+  /// concurrent workloads disjoint.
+  std::uint64_t flow_id_base = 0;
+};
+
+class PoissonWorkload final : public Workload {
+ public:
+  explicit PoissonWorkload(const PoissonConfig& cfg);
+
+  void install(sim::Simulator& sim, StartFlowFn start) override;
+
+  const PoissonConfig& config() const { return cfg_; }
+  std::uint64_t flows_started() const { return next_flow_; }
+  /// Mean inter-arrival time implied by the configuration.
+  Time mean_interarrival() const;
+
+ private:
+  void schedule_next(sim::Simulator& sim);
+
+  PoissonConfig cfg_;
+  Rng rng_;
+  StartFlowFn start_;
+  std::uint64_t next_flow_ = 0;
+};
+
+}  // namespace paraleon::workload

@@ -1,0 +1,94 @@
+#include "workload/size_distribution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace paraleon::workload {
+
+SizeDistribution::SizeDistribution(
+    std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  assert(points_.size() >= 2);
+  assert(points_.back().second >= 0.999999);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].first > points_[i - 1].first);
+    assert(points_[i].second >= points_[i - 1].second);
+    // Mean of a piecewise-linear CDF: each segment contributes its
+    // probability mass times the segment midpoint.
+    const double mass = points_[i].second - points_[i - 1].second;
+    mean_ += mass * 0.5 * (points_[i].first + points_[i - 1].first);
+  }
+  // Mass below the first point (if cdf[0] > 0) sits at the first size.
+  mean_ += points_.front().second * points_.front().first;
+}
+
+std::int64_t SizeDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  if (u <= points_.front().second) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(points_.front().first));
+  }
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), u,
+      [](const auto& p, double v) { return p.second < v; });
+  const auto hi = it == points_.end() ? points_.end() - 1 : it;
+  const auto lo = hi - 1;
+  const double span = hi->second - lo->second;
+  const double frac = span <= 0.0 ? 0.0 : (u - lo->second) / span;
+  const double size = lo->first + frac * (hi->first - lo->first);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(size));
+}
+
+double SizeDistribution::fraction_at_least(double threshold) const {
+  if (threshold <= points_.front().first) return 1.0;
+  if (threshold >= points_.back().first) return 0.0;
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), threshold,
+      [](const auto& p, double v) { return p.first < v; });
+  const auto hi = it;
+  const auto lo = hi - 1;
+  const double frac =
+      (threshold - lo->first) / (hi->first - lo->first);
+  const double cdf = lo->second + frac * (hi->second - lo->second);
+  return 1.0 - cdf;
+}
+
+const SizeDistribution& fb_hadoop_distribution() {
+  static const SizeDistribution dist{{
+      {250, 0.15},
+      {500, 0.30},
+      {1 << 10, 0.45},
+      {2 << 10, 0.55},
+      {5 << 10, 0.65},
+      {10 << 10, 0.70},
+      {20 << 10, 0.75},
+      {50 << 10, 0.80},
+      {100 << 10, 0.84},
+      {200 << 10, 0.87},
+      {500 << 10, 0.90},
+      {1 << 20, 0.92},
+      {2 << 20, 0.95},
+      {5 << 20, 0.97},
+      {10 << 20, 0.99},
+      {30 << 20, 1.00},
+  }};
+  return dist;
+}
+
+const SizeDistribution& solar_rpc_distribution() {
+  static const SizeDistribution dist{{
+      {512, 0.30},
+      {1 << 10, 0.50},
+      {2 << 10, 0.60},
+      {4 << 10, 0.70},
+      {8 << 10, 0.80},
+      {16 << 10, 0.87},
+      {32 << 10, 0.92},
+      {64 << 10, 0.96},
+      {128 << 10, 1.00},
+  }};
+  return dist;
+}
+
+}  // namespace paraleon::workload

@@ -1,0 +1,55 @@
+// Empirical flow-size distributions.
+//
+// FB_Hadoop follows the published characterisation of Facebook's Hadoop
+// cluster traffic (Roy et al., SIGCOMM'15, as shipped with the public ns-3
+// RDMA harnesses): the large majority of flows are mice (<10 KB) while the
+// large majority of *bytes* comes from multi-megabyte elephants — the
+// property the paper's FSD-guided tuning exploits. SolarRPC models the
+// Alibaba storage RPC traffic of Miao et al. (SIGCOMM'22): all flows are
+// mice below 128 KB. The exact trace files are not redistributable; these
+// tables are documented approximations preserving the mice/elephant split
+// (see DESIGN.md, Substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace paraleon::workload {
+
+/// Piecewise-linear inverse-CDF sampler over flow sizes in bytes.
+class SizeDistribution {
+ public:
+  /// `points` are (size_bytes, cdf) pairs with strictly increasing sizes
+  /// and cdf ending at 1.0.
+  explicit SizeDistribution(std::vector<std::pair<double, double>> points);
+
+  /// Draws one flow size (>= 1 byte).
+  std::int64_t sample(Rng& rng) const;
+
+  /// Analytic mean of the piecewise-linear distribution.
+  double mean_bytes() const { return mean_; }
+
+  /// Fraction of flows at or above `threshold` bytes.
+  double fraction_at_least(double threshold) const;
+
+  const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+  double mean_ = 0.0;
+};
+
+/// The FB_Hadoop workload of §IV-B (mice-dominated by count,
+/// elephant-dominated by bytes).
+const SizeDistribution& fb_hadoop_distribution();
+
+/// The SolarRPC workload of §IV-C (all mice, <= 128 KB).
+const SizeDistribution& solar_rpc_distribution();
+
+}  // namespace paraleon::workload

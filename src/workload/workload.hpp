@@ -1,0 +1,44 @@
+// Workload abstraction: a traffic generator installed into a simulation.
+//
+// The runner supplies a StartFlowFn that injects the flow at its source
+// host and registers it with the FCT tracker and ground truth. Round-based
+// workloads (alltoall) also receive completion notifications to pace their
+// ON-OFF cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace paraleon::workload {
+
+struct FlowSpec {
+  std::uint64_t flow_id = 0;
+  /// Stable QP identity for data-plane measurement; 0 = dedicated QP
+  /// (the flow_id itself). Round-based collectives reuse per-pair QPs.
+  std::uint64_t qp_key = 0;
+  int src = 0;
+  int dst = 0;
+  std::int64_t size_bytes = 0;
+};
+
+class Workload {
+ public:
+  using StartFlowFn = std::function<void(const FlowSpec&)>;
+
+  virtual ~Workload() = default;
+
+  /// Begins generating traffic; `start` must remain valid for the run.
+  virtual void install(sim::Simulator& sim, StartFlowFn start) = 0;
+
+  /// A previously started flow finished (delivered to all workloads; ignore
+  /// unknown ids).
+  virtual void on_flow_complete(std::uint64_t flow_id, Time now) {
+    (void)flow_id;
+    (void)now;
+  }
+};
+
+}  // namespace paraleon::workload

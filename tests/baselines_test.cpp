@@ -1,0 +1,124 @@
+// ACC and DCQCN+ baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/acc.hpp"
+#include "dcqcn/params.hpp"
+#include "sim/topology.hpp"
+
+namespace paraleon::baselines {
+namespace {
+
+sim::ClosConfig tiny_clos() {
+  sim::ClosConfig cfg;
+  cfg.n_tor = 2;
+  cfg.n_leaf = 1;
+  cfg.hosts_per_tor = 2;
+  cfg.host_link = gbps(10);
+  cfg.fabric_link = gbps(10);
+  cfg.prop_delay = microseconds(1);
+  cfg.dcqcn = dcqcn::scaled_for_line_rate(dcqcn::default_params(),
+                                          gbps(100), gbps(10));
+  return cfg;
+}
+
+TEST(Acc, AppliesInitialActionOnStart) {
+  sim::Simulator sim;
+  sim::ClosTopology topo(&sim, tiny_clos());
+  AccAgent agent(&sim, &topo.tor(0), gbps(10), AccConfig{});
+  agent.start();
+  // Middle preset at 10 Gbps: kmin = 100KB * (10/100) = 10KB, kmax = 4x.
+  EXPECT_EQ(topo.tor(0).ecn().kmin_bytes, 10 * 1024);
+  EXPECT_EQ(topo.tor(0).ecn().kmax_bytes, 40 * 1024);
+  EXPECT_EQ(agent.actions_taken(), 1);
+}
+
+TEST(Acc, ActsEveryInterval) {
+  sim::Simulator sim;
+  sim::ClosTopology topo(&sim, tiny_clos());
+  AccConfig cfg;
+  cfg.interval = milliseconds(1);
+  AccAgent agent(&sim, &topo.tor(0), gbps(10), cfg);
+  agent.start();
+  topo.host(0).start_flow(1, 2, 8 << 20);
+  sim.run_until(milliseconds(10));
+  EXPECT_GE(agent.actions_taken(), 10);
+}
+
+TEST(Acc, EcnStaysWithinPresetTable) {
+  sim::Simulator sim;
+  sim::ClosTopology topo(&sim, tiny_clos());
+  AccConfig cfg;
+  cfg.interval = milliseconds(1);
+  cfg.epsilon = 0.5;  // lots of exploration
+  AccAgent agent(&sim, &topo.tor(0), gbps(10), cfg);
+  agent.start();
+  topo.host(0).start_flow(1, 2, 32 << 20);
+  for (int ms = 1; ms <= 20; ++ms) {
+    sim.run_until(milliseconds(ms));
+    const auto& ecn = topo.tor(0).ecn();
+    EXPECT_EQ(ecn.kmax_bytes, 4 * ecn.kmin_bytes);
+    EXPECT_TRUE(ecn.pmax == 0.05 || ecn.pmax == 0.2 || ecn.pmax == 0.5);
+  }
+}
+
+TEST(Acc, RewardRespondsToTraffic) {
+  sim::Simulator sim;
+  sim::ClosTopology topo(&sim, tiny_clos());
+  AccConfig cfg;
+  cfg.interval = milliseconds(1);
+  AccAgent agent(&sim, &topo.tor(0), gbps(10), cfg);
+  agent.start();
+  topo.host(0).start_flow(1, 2, 64 << 20);  // sustained cross-rack flow
+  sim.run_until(milliseconds(5));
+  // Utilisation reward should be positive with a healthy flow.
+  EXPECT_GT(agent.last_reward(), 0.0);
+}
+
+TEST(DcqcnPlus, AdaptiveCnpIntervalScalesWithIncast) {
+  sim::Simulator sim;
+  auto cfg = tiny_clos();
+  cfg.dcqcn.kmin_bytes = 8 * 1024;  // mark aggressively
+  cfg.dcqcn.kmax_bytes = 32 * 1024;
+  sim::ClosTopology topo(&sim, cfg);
+  for (int h = 0; h < 4; ++h) {
+    topo.host(h).enable_dcqcn_plus(microseconds(50), milliseconds(1));
+  }
+  // 3-to-1 incast into host 0.
+  for (int src = 1; src < 4; ++src) {
+    topo.host(src).start_flow(static_cast<std::uint64_t>(src), 0, 8 << 20);
+  }
+  sim.run_until(milliseconds(5));
+  // The receiver observed multiple congested flows.
+  EXPECT_GE(topo.host(0).dcqcn_plus_congested_flows(), 2u);
+  // RPs slowed their increase behaviour host-wide.
+  bool any_adjusted = false;
+  for (int src = 1; src < 4; ++src) {
+    const auto& p = topo.host(src).dcqcn_params();
+    if (p.rpg_time_reset > dcqcn::default_params().rpg_time_reset ||
+        p.ai_rate < cfg.dcqcn.ai_rate) {
+      any_adjusted = true;
+    }
+  }
+  EXPECT_TRUE(any_adjusted);
+}
+
+TEST(DcqcnPlus, FlowsStillComplete) {
+  sim::Simulator sim;
+  auto cfg = tiny_clos();
+  cfg.dcqcn.kmin_bytes = 8 * 1024;
+  cfg.dcqcn.kmax_bytes = 32 * 1024;
+  sim::ClosTopology topo(&sim, cfg);
+  for (int h = 0; h < 4; ++h) {
+    topo.host(h).enable_dcqcn_plus(microseconds(50), milliseconds(1));
+  }
+  int completed = 0;
+  topo.host(0).set_on_flow_complete([&](std::uint64_t, Time) { ++completed; });
+  for (int src = 1; src < 4; ++src) {
+    topo.host(src).start_flow(static_cast<std::uint64_t>(src), 0, 1 << 20);
+  }
+  sim.run_until(milliseconds(50));
+  EXPECT_EQ(completed, 3);
+}
+
+}  // namespace
+}  // namespace paraleon::baselines

@@ -1,0 +1,132 @@
+// Units and RNG: determinism, distribution sanity, conversion exactness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace paraleon {
+namespace {
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1000000);
+  EXPECT_EQ(seconds(1), 1000000000);
+  EXPECT_DOUBLE_EQ(to_us(microseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_ms(milliseconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_sec(seconds(2)), 2.0);
+}
+
+TEST(TimeUnits, RateConversions) {
+  EXPECT_DOUBLE_EQ(gbps(100), 100e9);
+  EXPECT_DOUBLE_EQ(mbps(5), 5e6);
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(25)), 25.0);
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(150)), 150.0);
+}
+
+TEST(TimeUnits, SerializationExactCases) {
+  // 1000 B at 100 Gbps = 8000 bits / 100e9 bps = 80 ns exactly.
+  EXPECT_EQ(serialization_time(1000, gbps(100)), 80);
+  // 1 B at 1 Gbps = 8 ns.
+  EXPECT_EQ(serialization_time(1, gbps(1)), 8);
+  // 64 B control frame at 10 Gbps = 51.2 ns -> rounds UP to 52.
+  EXPECT_EQ(serialization_time(64, gbps(10)), 52);
+}
+
+TEST(TimeUnits, SerializationNeverRoundsDown) {
+  // Rounding down would let a transmitter exceed line rate.
+  for (std::int64_t bytes : {1, 63, 64, 999, 1000, 1500, 4096}) {
+    for (Rate r : {gbps(1), gbps(10), gbps(25), gbps(100), gbps(400)}) {
+      const Time t = serialization_time(bytes, r);
+      EXPECT_GE(static_cast<double>(t) * r / 8e9,
+                static_cast<double>(bytes) - 1e-6);
+    }
+  }
+}
+
+TEST(TimeUnits, BytesInInvertsSerialization) {
+  const Rate r = gbps(10);
+  const Time t = serialization_time(1000, r);
+  EXPECT_GE(bytes_in(t, r), 999);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(0.5, 1.0);
+    EXPECT_GE(u, 0.5);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / kN, 50.0, 1.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(23);
+  parent_copy.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child.next_u64() == a.next_u64());
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace paraleon

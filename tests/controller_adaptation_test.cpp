@@ -1,0 +1,190 @@
+// Controller adaptation logic under *scripted* flow-size distributions:
+// the agents' drain functions are driven by the test, so KL triggering,
+// guided kicks and regime memory can be verified deterministically,
+// independent of network noise.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/controller.hpp"
+
+namespace paraleon::core {
+namespace {
+
+using sketch::HeavyRecord;
+
+// A scripted measurement source: the test sets what the "sketch" reports
+// each monitor interval.
+struct ScriptedSource {
+  std::vector<HeavyRecord> current;
+  std::vector<HeavyRecord> drain() {
+    auto out = current;
+    return out;
+  }
+};
+
+struct Rig {
+  sim::Simulator sim;
+  std::unique_ptr<sim::ClosTopology> topo;
+  ScriptedSource source;
+  std::unique_ptr<SwitchAgent> agent;
+  std::unique_ptr<ParaleonController> controller;
+
+  explicit Rig(ControllerConfig cfg) {
+    sim::ClosConfig clos;
+    clos.n_tor = 2;
+    clos.n_leaf = 1;
+    clos.hosts_per_tor = 2;
+    clos.host_link = gbps(10);
+    clos.fabric_link = gbps(10);
+    clos.prop_delay = microseconds(1);
+    clos.dcqcn = dcqcn::scaled_for_line_rate(dcqcn::default_params(),
+                                             gbps(100), gbps(10));
+    topo = std::make_unique<sim::ClosTopology>(&sim, clos);
+    AgentConfig acfg;
+    acfg.ternary.tau_bytes = 100 * 1024;
+    agent = std::make_unique<SwitchAgent>(
+        acfg, [this] { return source.drain(); });
+    controller = std::make_unique<ParaleonController>(&sim, topo.get(), cfg);
+    controller->add_agent(agent.get());
+    controller->start();
+  }
+
+  void set_elephants(int n) {
+    source.current.clear();
+    for (int i = 0; i < n; ++i) {
+      source.current.push_back(
+          {static_cast<std::uint64_t>(1000 + i), 500 * 1024});
+    }
+  }
+  void set_mice(int n) {
+    source.current.clear();
+    for (int i = 0; i < n; ++i) {
+      source.current.push_back(
+          {static_cast<std::uint64_t>(5000 + i), 4 * 1024});
+    }
+  }
+  void run_mi(int n) {
+    sim.run_until(sim.now() + n * milliseconds(1));
+  }
+};
+
+ControllerConfig adaptation_cfg() {
+  ControllerConfig cfg;
+  cfg.mi = milliseconds(1);
+  cfg.kl_theta = 0.01;
+  cfg.sa.total_iter_num = 2;
+  cfg.sa.cooling_rate = 0.3;  // tiny episodes: 2 temps x 2 iters
+  cfg.sa.final_temp = 25;
+  cfg.trigger_kick_steps = 4;
+  cfg.episode_cooldown_mi = 3;
+  cfg.post_check_window_mi = 0;  // keep episode results for inspection
+  return cfg;
+}
+
+TEST(ControllerAdaptation, ElephantOnsetKicksThroughputFriendly) {
+  Rig rig(adaptation_cfg());
+  const auto before = rig.controller->installed_params();
+  rig.run_mi(3);  // empty network, no trigger
+  EXPECT_EQ(rig.controller->episodes(), 0u);
+  rig.set_elephants(20);
+  rig.run_mi(3);  // FSD jumps: trigger + elephant-dominant kick
+  ASSERT_GE(rig.controller->episodes(), 1u);
+  const auto after = rig.controller->installed_params();
+  // Throughput-friendly kick: deeper marking thresholds, faster increase.
+  EXPECT_GT(after.kmin_bytes, before.kmin_bytes);
+  EXPECT_GT(after.ai_rate, before.ai_rate);
+}
+
+TEST(ControllerAdaptation, MiceOnsetKicksDelayFriendly) {
+  ControllerConfig cfg = adaptation_cfg();
+  Rig rig(cfg);
+  // Start the controller from a mid-range setting so there is headroom
+  // downwards.
+  rig.set_elephants(0);
+  rig.run_mi(1);
+  rig.set_mice(50);
+  rig.run_mi(3);
+  ASSERT_GE(rig.controller->episodes(), 1u);
+  const auto after = rig.controller->installed_params();
+  const auto base = dcqcn::scaled_for_line_rate(dcqcn::default_params(),
+                                                gbps(100), gbps(10));
+  // Delay-friendly direction: earlier marking / shorter CNP gap.
+  EXPECT_LE(after.kmax_bytes, base.kmax_bytes);
+  EXPECT_LE(after.min_time_between_cnps, base.min_time_between_cnps);
+}
+
+TEST(ControllerAdaptation, ShareTracksScriptedMix) {
+  Rig rig(adaptation_cfg());
+  rig.set_elephants(8);
+  rig.run_mi(6);
+  EXPECT_GT(rig.controller->current_fsd().elephant_share, 0.9);
+  rig.set_mice(80);
+  rig.run_mi(8);  // elephants evicted after idle window
+  // Trickling mice acquire partial potential-elephant likelihood as phi
+  // accumulates, so the share is small but non-zero: mice-dominant.
+  EXPECT_LT(rig.controller->current_fsd().elephant_share, 0.5);
+}
+
+TEST(ControllerAdaptation, SecondFlipRestoresRegimeMemory) {
+  ControllerConfig cfg = adaptation_cfg();
+  cfg.kl_theta = 0.005;
+  Rig rig(cfg);
+  rig.run_mi(2);  // establish an empty-FSD baseline first
+  rig.set_elephants(20);
+  rig.run_mi(12);  // elephant regime: episode runs and settles
+  const auto elephant_setting = rig.controller->installed_params();
+  rig.set_mice(100);
+  rig.run_mi(12);  // mice regime
+  const auto mice_setting = rig.controller->installed_params();
+  rig.set_elephants(20);
+  rig.run_mi(6);  // flip back: the cached elephant setting is restored
+  const auto restored = rig.controller->installed_params();
+  // The refinement episode that starts at the flip mutates from the
+  // restored cache, so `restored` sits within a few SA steps of the saved
+  // elephant setting — not of the mice setting the kick path would have
+  // started from.
+  const auto space = ParamSpace::standard(gbps(10), 12ll * 1024 * 1024);
+  for (const auto& tp : space.params()) {
+    EXPECT_LT(std::abs(tp.get(restored) - tp.get(elephant_setting)),
+              8.0 * tp.step + 1e-9)
+        << tp.name;
+  }
+  // Sanity: the regimes actually diverged (otherwise this test is vacuous).
+  EXPECT_GT(std::abs(static_cast<double>(elephant_setting.kmin_bytes -
+                                         mice_setting.kmin_bytes)),
+            4096.0);
+}
+
+TEST(ControllerAdaptation, NoKickWithoutDominanceFlip) {
+  ControllerConfig cfg = adaptation_cfg();
+  cfg.steady_retrigger_mi = 4;  // retrigger repeatedly on steady traffic
+  Rig rig(cfg);
+  rig.set_elephants(20);
+  rig.run_mi(6);
+  const auto after_first = rig.controller->installed_params();
+  rig.run_mi(20);  // several more episodes, same dominance
+  const auto later = rig.controller->installed_params();
+  // Without flips, only SA steps apply — parameters stay within a few
+  // SA steps of the post-kick setting rather than walking to the bounds.
+  const auto space =
+      ParamSpace::standard(gbps(10), 12ll * 1024 * 1024);
+  for (const auto& tp : space.params()) {
+    EXPECT_LT(std::abs(tp.get(later) - tp.get(after_first)),
+              20.0 * tp.step + 1e-9)
+        << tp.name;
+  }
+}
+
+TEST(ControllerAdaptation, KickDisabledLeavesParamsUntilSa) {
+  ControllerConfig cfg = adaptation_cfg();
+  cfg.trigger_kick_steps = 0;
+  Rig rig(cfg);
+  const auto before = rig.controller->installed_params();
+  rig.set_elephants(20);
+  rig.run_mi(1);  // trigger fires this MI; first candidate next MI
+  EXPECT_EQ(rig.controller->installed_params(), before);
+}
+
+}  // namespace
+}  // namespace paraleon::core

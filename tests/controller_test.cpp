@@ -1,0 +1,178 @@
+// Closed-loop controller: KL triggering, episode lifecycle, parameter
+// dispatch, overhead accounting — on a live simulated fabric.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "sketch/elastic_sketch.hpp"
+
+namespace paraleon::core {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  std::unique_ptr<sim::ClosTopology> topo;
+  std::vector<std::unique_ptr<sketch::ElasticSketch>> sketches;
+  std::vector<std::unique_ptr<SwitchAgent>> agents;
+  std::unique_ptr<ParaleonController> controller;
+
+  explicit Rig(ControllerConfig cfg, bool with_agents = true) {
+    sim::ClosConfig clos;
+    clos.n_tor = 2;
+    clos.n_leaf = 1;
+    clos.hosts_per_tor = 2;
+    clos.host_link = gbps(10);
+    clos.fabric_link = gbps(10);
+    clos.prop_delay = microseconds(1);
+    clos.dcqcn = dcqcn::scaled_for_line_rate(dcqcn::default_params(),
+                                             gbps(100), gbps(10));
+    topo = std::make_unique<sim::ClosTopology>(&sim, clos);
+    controller = std::make_unique<ParaleonController>(&sim, topo.get(), cfg);
+    if (with_agents) {
+      for (int t = 0; t < topo->tor_count(); ++t) {
+        sketches.push_back(
+            std::make_unique<sketch::ElasticSketch>(
+                sketch::ElasticSketchConfig{}));
+        auto* raw = sketches.back().get();
+        topo->tor(t).attach_sketch(raw);
+        agents.push_back(std::make_unique<SwitchAgent>(
+            AgentConfig{}, [raw] {
+              auto v = raw->heavy_flows();
+              raw->reset();
+              return v;
+            }));
+        controller->add_agent(agents.back().get());
+      }
+    }
+    controller->start();
+  }
+};
+
+ControllerConfig fast_cfg() {
+  ControllerConfig cfg;
+  cfg.mi = milliseconds(1);
+  cfg.sa.total_iter_num = 3;
+  cfg.sa.initial_temp = 90;
+  cfg.sa.final_temp = 30;
+  cfg.sa.cooling_rate = 0.5;  // 2 temps x 3 iters = 6-step episodes
+  return cfg;
+}
+
+TEST(Controller, TicksEveryMonitorInterval) {
+  Rig rig(fast_cfg());
+  rig.sim.run_until(milliseconds(10));
+  EXPECT_EQ(rig.controller->overheads().mi_ticks, 10u);
+  EXPECT_EQ(rig.controller->throughput_series().points().size(), 10u);
+}
+
+TEST(Controller, NoTriggerOnQuietNetwork) {
+  Rig rig(fast_cfg());
+  rig.sim.run_until(milliseconds(20));
+  EXPECT_EQ(rig.controller->episodes(), 0u);
+}
+
+TEST(Controller, KlTriggerOnTrafficShift) {
+  Rig rig(fast_cfg());
+  // Quiet start, then a burst of elephants: the FSD jumps, KL > theta.
+  rig.sim.schedule_at(milliseconds(3), [&] {
+    for (int src = 0; src < 2; ++src) {
+      rig.topo->host(src).start_flow(100 + static_cast<std::uint64_t>(src),
+                                     2 + static_cast<sim::NodeId>(src),
+                                     8 << 20);
+    }
+  });
+  rig.sim.run_until(milliseconds(30));
+  EXPECT_GE(rig.controller->episodes(), 1u);
+}
+
+TEST(Controller, ForcedEpisodeRunsAndEnds) {
+  Rig rig(fast_cfg());
+  rig.topo->host(0).start_flow(1, 2, 64 << 20);  // keep traffic flowing
+  rig.controller->force_trigger();
+  rig.sim.run_until(milliseconds(2));
+  EXPECT_TRUE(rig.controller->tuning_active());
+  rig.sim.run_until(milliseconds(12));
+  EXPECT_FALSE(rig.controller->tuning_active());
+  EXPECT_EQ(rig.controller->episodes(), 1u);
+}
+
+TEST(Controller, DispatchChangesInstalledParams) {
+  Rig rig(fast_cfg());
+  const auto before = rig.controller->installed_params();
+  rig.topo->host(0).start_flow(1, 2, 64 << 20);
+  rig.controller->force_trigger();
+  rig.sim.run_until(milliseconds(4));
+  const auto after = rig.controller->installed_params();
+  EXPECT_NE(before, after);
+  // The dispatch actually reached RNICs and switches.
+  EXPECT_EQ(rig.topo->host(0).dcqcn_params(), after);
+  EXPECT_EQ(rig.topo->tor(0).ecn().kmin_bytes, after.kmin_bytes);
+}
+
+TEST(Controller, BestInstalledAtEpisodeEnd) {
+  Rig rig(fast_cfg());
+  rig.topo->host(0).start_flow(1, 2, 64 << 20);
+  rig.controller->force_trigger();
+  rig.sim.run_until(milliseconds(15));
+  ASSERT_FALSE(rig.controller->tuning_active());
+  EXPECT_EQ(rig.controller->installed_params(), rig.controller->tuner().best());
+}
+
+TEST(Controller, FsdReflectsElephantTraffic) {
+  Rig rig(fast_cfg());
+  rig.topo->host(0).start_flow(1, 2, 32 << 20);
+  rig.sim.run_until(milliseconds(8));
+  const Fsd& fsd = rig.controller->current_fsd();
+  EXPECT_GT(fsd.active_flows, 0.0);
+  EXPECT_GT(fsd.elephant_share, 0.5);
+}
+
+TEST(Controller, NoFsdModeUsesBlindRetrigger) {
+  ControllerConfig cfg = fast_cfg();
+  cfg.fsd_available = false;
+  cfg.blind_retrigger_mi = 5;
+  Rig rig(cfg, /*with_agents=*/false);
+  rig.topo->host(0).start_flow(1, 2, 64 << 20);
+  rig.sim.run_until(milliseconds(30));
+  EXPECT_GE(rig.controller->episodes(), 2u);
+}
+
+TEST(Controller, OverheadAccounting) {
+  Rig rig(fast_cfg());
+  rig.topo->host(0).start_flow(1, 2, 64 << 20);
+  rig.controller->force_trigger();
+  rig.sim.run_until(milliseconds(10));
+  const auto& oh = rig.controller->overheads();
+  EXPECT_GT(oh.controller_cpu_seconds, 0.0);
+  // FSD uploads flow every MI from both ToR agents.
+  EXPECT_GE(oh.switch_to_controller_bytes, 10 * 2 * 100);
+  // RNIC metric uploads only during the tuning episode.
+  EXPECT_GT(oh.rnic_to_controller_bytes, 0);
+  // Dispatches: 6-step episode + final best, 7 devices (4 hosts + 3 sw).
+  EXPECT_GT(oh.controller_to_devices_bytes, 0);
+  EXPECT_EQ(oh.controller_to_devices_bytes % 76, 0);
+}
+
+TEST(Controller, UtilitySeriesInUnitRange) {
+  Rig rig(fast_cfg());
+  rig.topo->host(0).start_flow(1, 2, 16 << 20);
+  rig.sim.run_until(milliseconds(10));
+  for (const auto& p : rig.controller->utility_series().points()) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0);
+  }
+}
+
+TEST(Controller, DeterministicAcrossRuns) {
+  const auto run = [] {
+    Rig rig(fast_cfg());
+    rig.topo->host(0).start_flow(1, 2, 8 << 20);
+    rig.topo->host(1).start_flow(2, 3, 8 << 20);
+    rig.controller->force_trigger();
+    rig.sim.run_until(milliseconds(15));
+    return dcqcn::to_string(rig.controller->installed_params());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace paraleon::core

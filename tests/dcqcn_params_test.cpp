@@ -1,0 +1,99 @@
+// DCQCN parameter presets, scaling and legality clamping.
+#include <gtest/gtest.h>
+
+#include "dcqcn/params.hpp"
+
+namespace paraleon::dcqcn {
+namespace {
+
+TEST(Params, DefaultsMatchNvidiaDoc) {
+  const DcqcnParams p = default_params();
+  EXPECT_DOUBLE_EQ(p.ai_rate, mbps(5));
+  EXPECT_DOUBLE_EQ(p.hai_rate, mbps(50));
+  EXPECT_EQ(p.rpg_time_reset, microseconds(300));
+  EXPECT_EQ(p.rpg_byte_reset, 32767);
+  EXPECT_EQ(p.rpg_threshold, 5);
+  EXPECT_EQ(p.alpha_update_period, microseconds(55));
+  EXPECT_NEAR(p.g, 1.0 / 256.0, 1e-12);
+}
+
+TEST(Params, ExpertMatchesTableI) {
+  const DcqcnParams p = expert_params();
+  EXPECT_DOUBLE_EQ(p.ai_rate, mbps(50));
+  EXPECT_DOUBLE_EQ(p.hai_rate, mbps(150));
+  EXPECT_EQ(p.rate_reduce_monitor_period, microseconds(80));
+  EXPECT_EQ(p.min_time_between_cnps, microseconds(96));
+  EXPECT_EQ(p.kmin_bytes, 1600 * 1024);
+  EXPECT_EQ(p.kmax_bytes, 6400 * 1024);
+  EXPECT_DOUBLE_EQ(p.pmax, 0.2);
+}
+
+TEST(Params, ExpertKeepsUnlistedDefaults) {
+  const DcqcnParams d = default_params();
+  const DcqcnParams e = expert_params();
+  EXPECT_EQ(e.rpg_time_reset, d.rpg_time_reset);
+  EXPECT_EQ(e.rpg_byte_reset, d.rpg_byte_reset);
+  EXPECT_DOUBLE_EQ(e.g, d.g);
+}
+
+TEST(Params, ScalingPreservesTimesScalesRatesAndQueues) {
+  const DcqcnParams p = expert_params();
+  const DcqcnParams s = scaled_for_line_rate(p, gbps(400), gbps(100));
+  EXPECT_DOUBLE_EQ(s.ai_rate, p.ai_rate / 4);
+  EXPECT_DOUBLE_EQ(s.hai_rate, p.hai_rate / 4);
+  EXPECT_EQ(s.kmin_bytes, p.kmin_bytes / 4);
+  EXPECT_EQ(s.kmax_bytes, p.kmax_bytes / 4);
+  EXPECT_EQ(s.rpg_time_reset, p.rpg_time_reset);          // time unchanged
+  EXPECT_EQ(s.min_time_between_cnps, p.min_time_between_cnps);
+  EXPECT_DOUBLE_EQ(s.pmax, p.pmax);                        // prob unchanged
+}
+
+TEST(Params, IdentityScaling) {
+  const DcqcnParams p = default_params();
+  const DcqcnParams s = scaled_for_line_rate(p, gbps(100), gbps(100));
+  EXPECT_EQ(s, p);
+}
+
+TEST(Params, ClampFixesKminAboveKmax) {
+  DcqcnParams p = default_params();
+  p.kmin_bytes = 500 * 1024;
+  p.kmax_bytes = 100 * 1024;
+  const int n = clamp_to_legal(p, gbps(100), 12 * 1024 * 1024);
+  EXPECT_GE(n, 1);
+  EXPECT_LE(p.kmin_bytes, p.kmax_bytes);
+}
+
+TEST(Params, ClampBoundsRates) {
+  DcqcnParams p = default_params();
+  p.ai_rate = gbps(500);
+  p.hai_rate = -5.0;
+  clamp_to_legal(p, gbps(100), 12 * 1024 * 1024);
+  EXPECT_LE(p.ai_rate, gbps(100));
+  EXPECT_GE(p.hai_rate, mbps(1));
+}
+
+TEST(Params, ClampBoundsEcnToBuffer) {
+  DcqcnParams p = default_params();
+  p.kmin_bytes = 100ll * 1024 * 1024;
+  p.kmax_bytes = 200ll * 1024 * 1024;
+  const std::int64_t buf = 12ll * 1024 * 1024;
+  clamp_to_legal(p, gbps(100), buf);
+  EXPECT_LE(p.kmin_bytes, buf);
+  EXPECT_LE(p.kmax_bytes, buf);
+}
+
+TEST(Params, CleanParamsNotClamped) {
+  DcqcnParams p = default_params();
+  EXPECT_EQ(clamp_to_legal(p, gbps(100), 12 * 1024 * 1024), 0);
+  EXPECT_EQ(p, default_params());
+}
+
+TEST(Params, ToStringMentionsKeyFields) {
+  const std::string s = to_string(expert_params());
+  EXPECT_NE(s.find("ai=50Mbps"), std::string::npos);
+  EXPECT_NE(s.find("kmin=1600KB"), std::string::npos);
+  EXPECT_NE(s.find("pmax=0.20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paraleon::dcqcn

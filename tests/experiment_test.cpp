@@ -1,0 +1,190 @@
+// Experiment harness integration: every scheme end-to-end on a small
+// fabric, accuracy tracking, determinism.
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+#include "stats/percentile.hpp"
+
+namespace paraleon::runner {
+namespace {
+
+ExperimentConfig small_config(Scheme scheme) {
+  ExperimentConfig cfg;
+  cfg.clos.n_tor = 2;
+  cfg.clos.n_leaf = 2;
+  cfg.clos.hosts_per_tor = 4;
+  cfg.clos.host_link = gbps(10);
+  cfg.clos.fabric_link = gbps(10);
+  cfg.clos.prop_delay = microseconds(1);
+  cfg.scheme = scheme;
+  cfg.controller.mi = milliseconds(1);
+  cfg.controller.sa.total_iter_num = 3;
+  cfg.controller.sa.cooling_rate = 0.5;
+  cfg.controller.sa.final_temp = 30;
+  cfg.duration = milliseconds(30);
+  cfg.seed = 11;
+  return cfg;
+}
+
+workload::PoissonConfig small_poisson(const Experiment& e) {
+  workload::PoissonConfig w;
+  w.hosts = e.all_hosts();
+  w.sizes = &workload::fb_hadoop_distribution();
+  w.load = 0.3;
+  w.stop = milliseconds(25);
+  w.seed = 21;
+  return w;
+}
+
+class SchemeTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SchemeTest, RunsAndCompletesFlows) {
+  Experiment exp(small_config(GetParam()));
+  exp.add_poisson(small_poisson(exp));
+  exp.run();
+  EXPECT_GT(exp.fct().started(), 20u);
+  // The vast majority of flows complete within the horizon.
+  EXPECT_GT(static_cast<double>(exp.fct().finished()),
+            0.7 * static_cast<double>(exp.fct().started()));
+  EXPECT_EQ(exp.topology().total_drops(), 0u);
+  // Runtime series recorded for every scheme.
+  EXPECT_GE(exp.throughput_series().points().size(), 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeTest,
+    ::testing::Values(Scheme::kDefaultStatic, Scheme::kExpertStatic,
+                      Scheme::kParaleon, Scheme::kParaleonNaiveSa,
+                      Scheme::kParaleonNoFsd, Scheme::kParaleonNetflow,
+                      Scheme::kParaleonNaiveSketch, Scheme::kAcc,
+                      Scheme::kDcqcnPlus),
+    [](const ::testing::TestParamInfo<Scheme>& info) {
+      std::string n = scheme_name(info.param);
+      for (auto& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(Experiment, SchemeNamesUnique) {
+  std::set<std::string> names;
+  for (Scheme s :
+       {Scheme::kDefaultStatic, Scheme::kExpertStatic, Scheme::kCustomStatic,
+        Scheme::kParaleon, Scheme::kParaleonNaiveSa, Scheme::kParaleonNoFsd,
+        Scheme::kParaleonNetflow, Scheme::kParaleonNaiveSketch, Scheme::kAcc,
+        Scheme::kDcqcnPlus}) {
+    EXPECT_TRUE(names.insert(scheme_name(s)).second);
+  }
+}
+
+TEST(Experiment, ControllerPresentOnlyForParaleonFamily) {
+  Experiment p(small_config(Scheme::kParaleon));
+  EXPECT_NE(p.controller(), nullptr);
+  Experiment d(small_config(Scheme::kDefaultStatic));
+  EXPECT_EQ(d.controller(), nullptr);
+  Experiment a(small_config(Scheme::kAcc));
+  EXPECT_EQ(a.controller(), nullptr);
+}
+
+TEST(Experiment, ExpertPresetScaledToLineRate) {
+  Experiment e(small_config(Scheme::kExpertStatic));
+  const auto& p = e.topology().host(0).dcqcn_params();
+  // Table I at 400G: kmin 1600 KB -> at 10G: 40 KB.
+  EXPECT_EQ(p.kmin_bytes, 40 * 1024);
+  EXPECT_EQ(p.min_time_between_cnps, microseconds(96));  // time unscaled
+}
+
+TEST(Experiment, CustomStaticUsesProvidedParams) {
+  ExperimentConfig cfg = small_config(Scheme::kCustomStatic);
+  cfg.custom_params = dcqcn::default_params();
+  cfg.custom_params.kmin_bytes = 12345;
+  cfg.custom_params.kmax_bytes = 23456;
+  Experiment e(cfg);
+  EXPECT_EQ(e.topology().host(0).dcqcn_params().kmin_bytes, 12345);
+  EXPECT_EQ(e.topology().tor(0).ecn().kmin_bytes, 12345);
+}
+
+TEST(Experiment, FsdAccuracyTracked) {
+  ExperimentConfig cfg = small_config(Scheme::kParaleon);
+  cfg.track_fsd_accuracy = true;
+  Experiment exp(cfg);
+  exp.add_poisson(small_poisson(exp));
+  exp.run();
+  EXPECT_FALSE(exp.fsd_accuracy_series().empty());
+  const double acc = exp.mean_fsd_accuracy();
+  EXPECT_GT(acc, 0.5);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Experiment, ParaleonAccuracyBeatsNetflow) {
+  const auto accuracy_of = [](Scheme s) {
+    ExperimentConfig cfg = small_config(s);
+    cfg.track_fsd_accuracy = true;
+    cfg.duration = milliseconds(40);
+    Experiment exp(cfg);
+    workload::PoissonConfig w;
+    w.hosts = exp.all_hosts();
+    w.sizes = &workload::fb_hadoop_distribution();
+    w.load = 0.3;
+    w.stop = milliseconds(35);
+    w.seed = 21;
+    exp.add_poisson(w);
+    exp.run();
+    return exp.mean_fsd_accuracy();
+  };
+  EXPECT_GT(accuracy_of(Scheme::kParaleon),
+            accuracy_of(Scheme::kParaleonNetflow));
+}
+
+TEST(Experiment, LearnedParamsAvailableAfterEpisode) {
+  ExperimentConfig cfg = small_config(Scheme::kParaleon);
+  Experiment exp(cfg);
+  exp.add_poisson(small_poisson(exp));
+  exp.controller()->force_trigger();
+  exp.run();
+  ASSERT_GE(exp.controller()->episodes(), 1u);
+  dcqcn::DcqcnParams learned = exp.learned_params();
+  // Legal and usable as a pretrained static setting.
+  EXPECT_EQ(dcqcn::clamp_to_legal(learned, cfg.clos.host_link,
+                                  cfg.clos.switch_cfg.buffer_bytes),
+            0);
+}
+
+TEST(Experiment, AlltoallWorkloadRoundsProgress) {
+  ExperimentConfig cfg = small_config(Scheme::kDefaultStatic);
+  cfg.duration = milliseconds(100);
+  Experiment exp(cfg);
+  workload::AlltoallConfig a2a;
+  a2a.workers = {0, 1, 2, 3};
+  a2a.flow_size = 256 * 1024;
+  a2a.off_period = milliseconds(1);
+  auto& w = exp.add_alltoall(a2a);
+  exp.run();
+  EXPECT_GE(w.rounds_completed(), 2);
+  EXPECT_GT(w.round_algbw_gbs(0), 0.0);
+}
+
+TEST(Experiment, DeterministicEndToEnd) {
+  const auto run = [] {
+    ExperimentConfig cfg = small_config(Scheme::kParaleon);
+    Experiment exp(cfg);
+    exp.add_poisson(small_poisson(exp));
+    exp.run();
+    return std::make_tuple(exp.fct().finished(),
+                           stats::mean(exp.fct().slowdowns(0, 1ll << 40)),
+                           dcqcn::to_string(exp.learned_params()));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Experiment, SlowdownsAreAtLeastOneIsh) {
+  Experiment exp(small_config(Scheme::kDefaultStatic));
+  exp.add_poisson(small_poisson(exp));
+  exp.run();
+  for (double s : exp.fct().slowdowns(0, 1ll << 40)) {
+    EXPECT_GT(s, 0.9);  // small tolerance for ideal-model granularity
+  }
+}
+
+}  // namespace
+}  // namespace paraleon::runner

@@ -1,0 +1,151 @@
+// Ternary flow-state machine: the Fig. 3 transition graph and the Fig. 4
+// sliding-window walkthrough.
+#include <gtest/gtest.h>
+
+#include "core/flow_state.hpp"
+
+namespace paraleon::core {
+namespace {
+
+using sketch::HeavyRecord;
+
+constexpr std::int64_t kMB = 1 << 20;
+
+TernaryConfig paper_config() {
+  TernaryConfig cfg;
+  cfg.tau_bytes = kMB;  // tau = 1 MB
+  cfg.delta = 3;        // window delta = 3
+  cfg.evict_after_idle = 3;
+  return cfg;
+}
+
+TEST(TernaryClassifier, LargeFirstIntervalIsElephant) {
+  TernaryClassifier c(paper_config());
+  c.advance({{1, 2 * kMB}});
+  ASSERT_NE(c.find(1), nullptr);
+  EXPECT_EQ(c.find(1)->state, FlowState::kElephant);
+  EXPECT_DOUBLE_EQ(c.elephant_likelihood(1), 1.0);
+}
+
+TEST(TernaryClassifier, SmallNewFlowIsMice) {
+  TernaryClassifier c(paper_config());
+  c.advance({{1, 100 * 1024}});
+  EXPECT_EQ(c.find(1)->state, FlowState::kMice);
+  EXPECT_DOUBLE_EQ(c.elephant_likelihood(1), 0.0);
+}
+
+TEST(TernaryClassifier, MiceToPotentialElephantAfterDeltaIntervals) {
+  TernaryClassifier c(paper_config());
+  c.advance({{1, 100 * 1024}});
+  EXPECT_EQ(c.find(1)->state, FlowState::kMice);
+  c.advance({{1, 100 * 1024}});
+  EXPECT_EQ(c.find(1)->state, FlowState::kMice);
+  c.advance({{1, 100 * 1024}});  // 3rd active interval fills the window
+  EXPECT_EQ(c.find(1)->state, FlowState::kPotentialElephant);
+}
+
+TEST(TernaryClassifier, Fig4WalkthroughF2) {
+  // f2: stays under tau for 6 intervals, crosses cumulative tau at MI7.
+  TernaryClassifier c(paper_config());
+  const std::int64_t kb400 = 400 * 1024;
+  c.advance({{2, kb400}});  // phi 0.4MB   M
+  c.advance({{2, kb400}});  // phi 0.8MB   M (window not full)
+  EXPECT_EQ(c.find(2)->state, FlowState::kMice);
+  c.advance({{2, 50 * 1024}});  // MI3: window filled -> PE (phi 0.85MB)
+  EXPECT_EQ(c.find(2)->state, FlowState::kPotentialElephant);
+  c.advance({{2, 20 * 1024}});
+  c.advance({{2, 20 * 1024}});
+  c.advance({{2, 20 * 1024}});
+  EXPECT_EQ(c.find(2)->state, FlowState::kPotentialElephant);
+  c.advance({{2, 200 * 1024}});  // MI7: phi crosses 1MB -> E
+  EXPECT_EQ(c.find(2)->state, FlowState::kElephant);
+}
+
+TEST(TernaryClassifier, Fig4WalkthroughF3InactiveBreaksPe) {
+  // f3: turns PE, then goes silent at MI8 -> never becomes elephant.
+  TernaryClassifier c(paper_config());
+  for (int i = 0; i < 7; ++i) c.advance({{3, 100 * 1024}});
+  EXPECT_EQ(c.find(3)->state, FlowState::kPotentialElephant);
+  c.advance({});  // MI8: no activity
+  ASSERT_NE(c.find(3), nullptr);
+  EXPECT_EQ(c.find(3)->state, FlowState::kMice);
+  EXPECT_DOUBLE_EQ(c.elephant_likelihood(3), 0.0);
+}
+
+TEST(TernaryClassifier, PeLikelihoodGrowsWithPhi) {
+  TernaryClassifier c(paper_config());
+  c.advance({{1, 200 * 1024}});
+  c.advance({{1, 200 * 1024}});
+  c.advance({{1, 200 * 1024}});  // PE, phi = 600KB
+  const double l1 = c.elephant_likelihood(1);
+  EXPECT_NEAR(l1, 600.0 / 1024.0, 0.01);
+  c.advance({{1, 200 * 1024}});  // phi = 800KB, refined upward
+  EXPECT_GT(c.elephant_likelihood(1), l1);
+}
+
+TEST(TernaryClassifier, EvictionAfterIdleWindow) {
+  TernaryClassifier c(paper_config());
+  c.advance({{1, 100}});
+  for (int i = 0; i < 3; ++i) c.advance({});
+  EXPECT_EQ(c.find(1), nullptr);
+  EXPECT_EQ(c.tracked_flows(), 0u);
+}
+
+TEST(TernaryClassifier, ElephantStaysElephantWhileActive) {
+  TernaryClassifier c(paper_config());
+  c.advance({{1, 2 * kMB}});
+  c.advance({{1, 10}});  // tiny activity: still an elephant by cumulative
+  EXPECT_EQ(c.find(1)->state, FlowState::kElephant);
+}
+
+TEST(TernaryClassifier, ThrottledElephantRecognisedViaWindow) {
+  // The paper's motivating case: an elephant throttled below tau per MI.
+  // Naive per-interval classification calls it mice forever; the sliding
+  // window accumulates phi and flips it to E.
+  TernaryClassifier c(paper_config());
+  for (int i = 0; i < 5; ++i) {
+    c.advance({{1, 300 * 1024}});  // 0.3 MB per MI < tau
+  }
+  // After 4 intervals phi = 1.2 MB >= tau.
+  EXPECT_EQ(c.find(1)->state, FlowState::kElephant);
+}
+
+TEST(TernaryClassifier, ActiveFlowCount) {
+  TernaryClassifier c(paper_config());
+  c.advance({{1, 100}, {2, 100}, {3, 100}});
+  EXPECT_EQ(c.active_flows(), 3u);
+  c.advance({{1, 100}});
+  EXPECT_EQ(c.active_flows(), 1u);
+  EXPECT_EQ(c.tracked_flows(), 3u);  // 2 and 3 idle but not evicted yet
+}
+
+TEST(TernaryClassifier, MemoryGrowsWithFlows) {
+  TernaryClassifier c(paper_config());
+  const auto empty = c.memory_bytes();
+  std::vector<HeavyRecord> recs;
+  for (std::uint64_t f = 0; f < 1000; ++f) recs.push_back({f, 100});
+  c.advance(recs);
+  EXPECT_GT(c.memory_bytes(), empty + 1000 * sizeof(FlowEntry));
+}
+
+// Property: state is a pure function of the activity history pattern.
+class WindowSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowSizeTest, PeRequiresExactlyDeltaActiveIntervals) {
+  TernaryConfig cfg = paper_config();
+  cfg.delta = GetParam();
+  TernaryClassifier c(cfg);
+  for (int i = 1; i <= cfg.delta; ++i) {
+    c.advance({{1, 10 * 1024}});
+    if (i < cfg.delta) {
+      EXPECT_EQ(c.find(1)->state, FlowState::kMice) << "interval " << i;
+    }
+  }
+  EXPECT_EQ(c.find(1)->state, FlowState::kPotentialElephant);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, WindowSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace paraleon::core

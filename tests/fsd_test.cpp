@@ -1,0 +1,165 @@
+// Flow size distributions, KL trigger math and the accuracy metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fsd.hpp"
+
+namespace paraleon::core {
+namespace {
+
+TEST(FsdBucket, Boundaries) {
+  EXPECT_EQ(fsd_bucket(0), 0u);
+  EXPECT_EQ(fsd_bucket(1023), 0u);
+  EXPECT_EQ(fsd_bucket(1024), 1u);
+  EXPECT_EQ(fsd_bucket(2047), 1u);
+  EXPECT_EQ(fsd_bucket(2048), 2u);
+  EXPECT_EQ(fsd_bucket(1 << 20), 11u);
+  EXPECT_EQ(fsd_bucket(1ll << 40), kFsdBuckets - 1);
+}
+
+TEST(FsdBuilder, NormalisesOverFlows) {
+  FsdBuilder b;
+  b.add_flow(500, 0.0);        // bucket 0
+  b.add_flow(500, 0.0);        // bucket 0
+  b.add_flow(4 << 20, 1.0);    // elephant
+  const Fsd f = b.build();
+  EXPECT_DOUBLE_EQ(f.active_flows, 3.0);
+  EXPECT_NEAR(f.probs[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f.elephant_share, 1.0 / 3.0, 1e-12);
+  double total = 0.0;
+  for (double p : f.probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FsdBuilder, EmptyIsZero) {
+  const Fsd f = FsdBuilder{}.build();
+  EXPECT_DOUBLE_EQ(f.active_flows, 0.0);
+  EXPECT_DOUBLE_EQ(f.elephant_share, 0.0);
+}
+
+TEST(FsdBuilder, MergeWeightsByFlowCount) {
+  FsdBuilder a;
+  a.add_flow(500, 0.0);  // 1 mice
+  FsdBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_flow(4 << 20, 1.0);  // 3 elephants
+  FsdBuilder agg;
+  agg.merge(a.build());
+  agg.merge(b.build());
+  const Fsd f = agg.build();
+  EXPECT_DOUBLE_EQ(f.active_flows, 4.0);
+  EXPECT_NEAR(f.elephant_share, 0.75, 1e-12);
+}
+
+TEST(FsdBuilder, MergeOfEmptyIsNoop) {
+  FsdBuilder agg;
+  agg.merge(Fsd{});
+  agg.add_flow(500, 0.0);
+  EXPECT_DOUBLE_EQ(agg.build().active_flows, 1.0);
+}
+
+TEST(Fsd, DominantMu) {
+  Fsd f;
+  f.elephant_share = 0.8;
+  EXPECT_TRUE(f.elephants_dominant());
+  EXPECT_DOUBLE_EQ(f.dominant_mu(), 0.8);
+  f.elephant_share = 0.2;
+  EXPECT_FALSE(f.elephants_dominant());
+  EXPECT_DOUBLE_EQ(f.dominant_mu(), 0.8);
+}
+
+TEST(KlDivergence, IdenticalIsZeroish) {
+  FsdBuilder b;
+  b.add_flow(500, 0.0);
+  b.add_flow(4 << 20, 1.0);
+  const Fsd f = b.build();
+  EXPECT_NEAR(kl_divergence(f, f), 0.0, 1e-12);
+}
+
+TEST(KlDivergence, BothEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(kl_divergence(Fsd{}, Fsd{}), 0.0);
+}
+
+TEST(KlDivergence, ShiftedDistributionExceedsTheta) {
+  // Mice-dominated vs elephant-dominated: the paper's trigger (theta =
+  // 0.01) must fire.
+  FsdBuilder mice;
+  for (int i = 0; i < 100; ++i) mice.add_flow(2048, 0.0);
+  FsdBuilder eleph;
+  for (int i = 0; i < 100; ++i) eleph.add_flow(4 << 20, 1.0);
+  EXPECT_GT(kl_divergence(mice.build(), eleph.build()), 0.01);
+}
+
+TEST(KlDivergence, SmallPerturbationBelowTheta) {
+  FsdBuilder a;
+  FsdBuilder b;
+  for (int i = 0; i < 1000; ++i) {
+    a.add_flow(2048, 0.0);
+    b.add_flow(2048, 0.0);
+  }
+  b.add_flow(4096, 0.0);  // one extra flow in a neighbouring bucket
+  EXPECT_LT(kl_divergence(a.build(), b.build()), 0.01);
+}
+
+TEST(KlDivergence, AlwaysFinite) {
+  // Disjoint supports would make unsmoothed KL infinite.
+  FsdBuilder a;
+  a.add_flow(500, 0.0);
+  FsdBuilder b;
+  b.add_flow(8 << 20, 1.0);
+  const double kl = kl_divergence(a.build(), b.build());
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GT(kl, 0.0);
+}
+
+TEST(KlDivergence, NonNegative) {
+  FsdBuilder a;
+  a.add_flow(500, 0.0);
+  a.add_flow(1 << 15, 0.0);
+  FsdBuilder b;
+  b.add_flow(1 << 18, 0.2);
+  EXPECT_GE(kl_divergence(a.build(), b.build()), 0.0);
+  EXPECT_GE(kl_divergence(b.build(), a.build()), 0.0);
+}
+
+TEST(FsdAccuracy, PerfectMatchIsOne) {
+  FsdBuilder b;
+  b.add_flow(500, 0.0);
+  b.add_flow(4 << 20, 1.0);
+  const Fsd f = b.build();
+  EXPECT_NEAR(fsd_accuracy(f, f), 1.0, 1e-12);
+}
+
+TEST(FsdAccuracy, TotalMismatchIsLow) {
+  FsdBuilder mice;
+  for (int i = 0; i < 10; ++i) mice.add_flow(500, 0.0);
+  FsdBuilder eleph;
+  for (int i = 0; i < 10; ++i) eleph.add_flow(4 << 20, 1.0);
+  EXPECT_LT(fsd_accuracy(mice.build(), eleph.build()), 0.1);
+}
+
+TEST(FsdAccuracy, MisclassifiedElephantPenalised) {
+  // Truth: one elephant. Estimate A sees it as elephant, estimate B (naive
+  // per-interval) sees only a slice and calls it mice.
+  FsdBuilder truth;
+  truth.add_flow(4 << 20, 1.0);
+  FsdBuilder good;
+  good.add_flow(4 << 20, 1.0);
+  FsdBuilder naive;
+  naive.add_flow(100 * 1024, 0.0);
+  EXPECT_GT(fsd_accuracy(good.build(), truth.build()),
+            fsd_accuracy(naive.build(), truth.build()));
+}
+
+TEST(FsdAccuracy, InRange01) {
+  FsdBuilder a;
+  a.add_flow(500, 0.3);
+  FsdBuilder b;
+  b.add_flow(1 << 22, 0.9);
+  const double acc = fsd_accuracy(a.build(), b.build());
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace paraleon::core

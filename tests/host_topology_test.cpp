@@ -1,0 +1,249 @@
+// End-to-end host/RNIC behaviour on real CLOS fabrics: flow delivery,
+// DCQCN reaction, PFC backpressure, RTT sampling, determinism.
+#include <gtest/gtest.h>
+
+#include "dcqcn/params.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace paraleon::sim {
+namespace {
+
+ClosConfig small_clos() {
+  ClosConfig cfg;
+  cfg.n_tor = 2;
+  cfg.n_leaf = 2;
+  cfg.hosts_per_tor = 4;
+  cfg.host_link = gbps(10);
+  cfg.fabric_link = gbps(10);
+  cfg.prop_delay = microseconds(1);
+  cfg.dcqcn = dcqcn::scaled_for_line_rate(dcqcn::default_params(), gbps(100),
+                                          gbps(10));
+  return cfg;
+}
+
+TEST(ClosTopology, Construction) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  EXPECT_EQ(topo.host_count(), 8);
+  EXPECT_EQ(topo.tor_count(), 2);
+  EXPECT_EQ(topo.leaf_count(), 2);
+  // ToR ports: 4 host-facing + 2 uplinks.
+  EXPECT_EQ(topo.tor(0).port_count(), 6);
+  // Leaf ports: one per ToR.
+  EXPECT_EQ(topo.leaf(0).port_count(), 2);
+}
+
+TEST(ClosTopology, HopCounts) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  EXPECT_EQ(topo.hop_count(0, 0), 0);
+  EXPECT_EQ(topo.hop_count(0, 1), 2);  // same ToR
+  EXPECT_EQ(topo.hop_count(0, 4), 4);  // cross ToR
+  EXPECT_EQ(topo.base_rtt(0, 1), 4 * microseconds(1));
+  EXPECT_EQ(topo.base_rtt(0, 4), 8 * microseconds(1));
+}
+
+TEST(ClosTopology, IdealFct) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  // 1 MB at 10 Gbps ~ 838.9 us serialisation + 4 us one-way base delay.
+  const Time ideal = topo.ideal_fct(1 << 20, 0, 4);
+  EXPECT_NEAR(static_cast<double>(ideal),
+              (1 << 20) * 8.0 / 10e9 * 1e9 + 4000.0, 10.0);
+}
+
+TEST(HostFlow, SingleFlowCompletesNearIdeal) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  Time finish = -1;
+  topo.host(4).set_on_flow_complete(
+      [&](std::uint64_t, Time t) { finish = t; });
+  topo.host(0).start_flow(1, 4, 100 * 1024);
+  sim.run_until(milliseconds(10));
+  ASSERT_GT(finish, 0);
+  const Time ideal = topo.ideal_fct(100 * 1024, 0, 4);
+  // Within 2x of ideal on an idle fabric (store-and-forward hops and the
+  // MTU pipeline add latency beyond the analytic ideal).
+  EXPECT_LT(finish, 2 * ideal);
+  EXPECT_GE(finish, ideal);
+}
+
+TEST(HostFlow, IntraRackFlowCompletes) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  Time finish = -1;
+  topo.host(1).set_on_flow_complete(
+      [&](std::uint64_t, Time t) { finish = t; });
+  topo.host(0).start_flow(1, 1, 64 * 1024);
+  sim.run_until(milliseconds(5));
+  EXPECT_GT(finish, 0);
+}
+
+TEST(HostFlow, ManyToOneIncastAllComplete) {
+  Simulator sim;
+  auto cfg = small_clos();
+  ClosTopology topo(&sim, cfg);
+  int completed = 0;
+  topo.host(0).set_on_flow_complete([&](std::uint64_t, Time) { ++completed; });
+  // 7-to-1 incast into host 0.
+  for (int src = 1; src < 8; ++src) {
+    topo.host(src).start_flow(static_cast<std::uint64_t>(src), 0, 256 * 1024);
+  }
+  sim.run_until(milliseconds(50));
+  EXPECT_EQ(completed, 7);
+  EXPECT_EQ(topo.total_drops(), 0u) << "lossless fabric must not drop";
+}
+
+TEST(HostFlow, IncastTriggersCnpsAndRateCuts) {
+  Simulator sim;
+  auto cfg = small_clos();
+  // Aggressive marking so congestion produces CNPs quickly.
+  cfg.dcqcn.kmin_bytes = 10 * 1024;
+  cfg.dcqcn.kmax_bytes = 40 * 1024;
+  ClosTopology topo(&sim, cfg);
+  for (int src = 1; src < 8; ++src) {
+    topo.host(src).start_flow(static_cast<std::uint64_t>(src), 0, 2 << 20);
+  }
+  sim.run_until(milliseconds(2));
+  std::uint64_t cnps = 0;
+  for (int h = 0; h < 8; ++h) cnps += topo.host(h).cnps_received();
+  EXPECT_GT(cnps, 0u);
+  // Senders must have cut below line rate.
+  double min_rate = 1e18;
+  for (int src = 1; src < 8; ++src) {
+    const double r = topo.host(src).qp_rate(static_cast<std::uint64_t>(src));
+    if (r > 0) min_rate = std::min(min_rate, r);
+  }
+  EXPECT_LT(min_rate, cfg.host_link * 0.9);
+}
+
+TEST(HostFlow, SevereIncastTriggersPfcNotDrops) {
+  Simulator sim;
+  auto cfg = small_clos();
+  cfg.switch_cfg.buffer_bytes = 256 * 1024;  // tight buffer
+  // ECN practically off: force PFC to do the work.
+  cfg.dcqcn.kmin_bytes = 200 * 1024;
+  cfg.dcqcn.kmax_bytes = 240 * 1024;
+  ClosTopology topo(&sim, cfg);
+  int completed = 0;
+  topo.host(0).set_on_flow_complete([&](std::uint64_t, Time) { ++completed; });
+  for (int src = 1; src < 8; ++src) {
+    topo.host(src).start_flow(static_cast<std::uint64_t>(src), 0, 1 << 20);
+  }
+  sim.run_until(milliseconds(20));
+  EXPECT_GT(topo.total_paused_time(), 0) << "PFC should have engaged";
+  EXPECT_EQ(topo.total_drops(), 0u);
+  EXPECT_EQ(completed, 7);
+}
+
+TEST(HostFlow, RttSamplesCollected) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  topo.host(0).start_flow(1, 4, 64 * 1024);
+  sim.run_until(milliseconds(5));
+  const auto [sum, n] = topo.host(0).drain_rtt_raw_samples();
+  EXPECT_GT(n, 0u);
+  // RTT must exceed the base propagation RTT (8 us).
+  EXPECT_GT(sum / static_cast<double>(n),
+            static_cast<double>(topo.base_rtt(0, 4)));
+}
+
+TEST(HostFlow, NormalizedRttAtMostOne) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  topo.host(0).start_flow(1, 4, 64 * 1024);
+  sim.run_until(milliseconds(5));
+  const auto [sum, n] = topo.host(0).drain_rtt_norm_samples();
+  ASSERT_GT(n, 0u);
+  const double avg = sum / static_cast<double>(n);
+  EXPECT_GT(avg, 0.0);
+  EXPECT_LE(avg, 1.0);
+}
+
+TEST(HostFlow, PerFlowTxBytesGroundTruth) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  topo.host(0).start_flow(1, 4, 64 * 1024);
+  topo.host(0).start_flow(2, 5, 32 * 1024);
+  sim.run_until(milliseconds(5));
+  auto bytes = topo.host(0).drain_tx_bytes_per_flow();
+  EXPECT_EQ(bytes[1], 64 * 1024);
+  EXPECT_EQ(bytes[2], 32 * 1024);
+  // Drained: second read is empty.
+  EXPECT_TRUE(topo.host(0).drain_tx_bytes_per_flow().empty());
+}
+
+TEST(HostFlow, ActiveFlowAccounting) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  EXPECT_FALSE(topo.host(0).has_active_tx());
+  topo.host(0).start_flow(1, 4, 1 << 20);
+  EXPECT_TRUE(topo.host(0).has_active_tx());
+  sim.run_until(milliseconds(20));
+  EXPECT_FALSE(topo.host(0).has_active_tx());  // fully injected + drained
+}
+
+TEST(HostFlow, ParamUpdateMidFlight) {
+  Simulator sim;
+  auto cfg = small_clos();
+  ClosTopology topo(&sim, cfg);
+  topo.host(0).start_flow(1, 4, 4 << 20);
+  sim.run_until(microseconds(100));
+  auto p = cfg.dcqcn;
+  p.kmin_bytes = 1024;
+  p.kmax_bytes = 2048;
+  topo.set_dcqcn_params_all(p);
+  EXPECT_EQ(topo.host(0).dcqcn_params().kmin_bytes, 1024);
+  EXPECT_EQ(topo.tor(0).ecn().kmin_bytes, 1024);
+  // Flow still completes after the update.
+  Time finish = -1;
+  topo.host(4).set_on_flow_complete(
+      [&](std::uint64_t, Time t) { finish = t; });
+  sim.run_until(milliseconds(50));
+  EXPECT_GT(finish, 0);
+}
+
+TEST(HostFlow, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    auto cfg = small_clos();
+    cfg.seed = 77;
+    ClosTopology topo(&sim, cfg);
+    std::vector<Time> finishes;
+    for (int h = 0; h < 8; ++h) {
+      topo.host(h).set_on_flow_complete(
+          [&](std::uint64_t, Time t) { finishes.push_back(t); });
+    }
+    for (int src = 1; src < 8; ++src) {
+      topo.host(src).start_flow(static_cast<std::uint64_t>(src), 0,
+                                512 * 1024);
+    }
+    sim.run_until(milliseconds(30));
+    return finishes;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(HostFlow, Alltoall4x4Completes) {
+  Simulator sim;
+  ClosTopology topo(&sim, small_clos());
+  int completed = 0;
+  for (int h = 0; h < 8; ++h) {
+    topo.host(h).set_on_flow_complete(
+        [&](std::uint64_t, Time) { ++completed; });
+  }
+  std::uint64_t id = 1;
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      topo.host(s).start_flow(id++, static_cast<NodeId>(d), 128 * 1024);
+    }
+  }
+  sim.run_until(milliseconds(50));
+  EXPECT_EQ(completed, 12);
+  EXPECT_EQ(topo.total_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace paraleon::sim

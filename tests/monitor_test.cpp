@@ -1,0 +1,157 @@
+// SwitchAgent modes and MetricCollector on live fabrics.
+#include <gtest/gtest.h>
+
+#include "core/monitor.hpp"
+#include "dcqcn/params.hpp"
+#include "sketch/elastic_sketch.hpp"
+
+namespace paraleon::core {
+namespace {
+
+using sketch::HeavyRecord;
+
+AgentConfig paper_agent() {
+  AgentConfig cfg;
+  cfg.mode = AgentConfig::Mode::kTernaryWindow;
+  cfg.ternary.tau_bytes = 1 << 20;
+  cfg.ternary.delta = 3;
+  return cfg;
+}
+
+TEST(SwitchAgent, TernaryModeDrainsEveryInterval) {
+  int drains = 0;
+  SwitchAgent agent(paper_agent(), [&] {
+    ++drains;
+    return std::vector<HeavyRecord>{};
+  });
+  for (int i = 0; i < 5; ++i) agent.on_monitor_interval();
+  EXPECT_EQ(drains, 5);
+}
+
+TEST(SwitchAgent, PerIntervalModeDrainsOnExportTicks) {
+  AgentConfig cfg;
+  cfg.mode = AgentConfig::Mode::kPerInterval;
+  cfg.export_every_mi = 10;
+  int drains = 0;
+  SwitchAgent agent(cfg, [&] {
+    ++drains;
+    return std::vector<HeavyRecord>{};
+  });
+  for (int i = 0; i < 25; ++i) agent.on_monitor_interval();
+  EXPECT_EQ(drains, 2);  // at intervals 10 and 20
+}
+
+TEST(SwitchAgent, TernaryFsdTracksThrottledElephant) {
+  // 300 KB per MI: naive per-interval calls it mice; the window-based
+  // agent accumulates to elephant.
+  SwitchAgent ternary(paper_agent(), [] {
+    return std::vector<HeavyRecord>{{1, 300 * 1024}};
+  });
+  AgentConfig naive_cfg;
+  naive_cfg.mode = AgentConfig::Mode::kPerInterval;
+  naive_cfg.ternary = paper_agent().ternary;
+  naive_cfg.export_every_mi = 1;
+  SwitchAgent naive(naive_cfg, [] {
+    return std::vector<HeavyRecord>{{1, 300 * 1024}};
+  });
+  for (int i = 0; i < 5; ++i) {
+    ternary.on_monitor_interval();
+    naive.on_monitor_interval();
+  }
+  EXPECT_DOUBLE_EQ(ternary.elephant_likelihood(1), 1.0);
+  EXPECT_DOUBLE_EQ(naive.elephant_likelihood(1), 0.0);
+  EXPECT_GT(ternary.local_fsd().elephant_share,
+            naive.local_fsd().elephant_share);
+}
+
+TEST(SwitchAgent, UploadBytesSmallAndConstant) {
+  SwitchAgent agent(paper_agent(), [] {
+    return std::vector<HeavyRecord>{{1, 100}, {2, 200}};
+  });
+  const auto b0 = agent.upload_bytes();
+  agent.on_monitor_interval();
+  // Layered aggregation: upload size independent of flow count.
+  EXPECT_EQ(agent.upload_bytes(), b0);
+  EXPECT_LT(agent.upload_bytes(), 600u);  // paper reports 520 B
+}
+
+TEST(SwitchAgent, CpuTimeAccumulates) {
+  SwitchAgent agent(paper_agent(), [] {
+    std::vector<HeavyRecord> v;
+    for (std::uint64_t f = 0; f < 500; ++f) v.push_back({f, 1000});
+    return v;
+  });
+  for (int i = 0; i < 10; ++i) agent.on_monitor_interval();
+  EXPECT_GT(agent.cpu_seconds(), 0.0);
+}
+
+sim::ClosConfig tiny_clos() {
+  sim::ClosConfig cfg;
+  cfg.n_tor = 2;
+  cfg.n_leaf = 1;
+  cfg.hosts_per_tor = 2;
+  cfg.host_link = gbps(10);
+  cfg.fabric_link = gbps(10);
+  cfg.prop_delay = microseconds(1);
+  cfg.dcqcn = dcqcn::scaled_for_line_rate(dcqcn::default_params(),
+                                          gbps(100), gbps(10));
+  return cfg;
+}
+
+TEST(MetricCollector, IdleNetworkIsPerfect) {
+  sim::Simulator sim;
+  sim::ClosTopology topo(&sim, tiny_clos());
+  MetricCollector mc(&topo);
+  sim.run_until(milliseconds(1));
+  const NetworkMetrics m = mc.collect(milliseconds(1));
+  EXPECT_DOUBLE_EQ(m.o_tp, 0.0);    // no active uplinks
+  EXPECT_DOUBLE_EQ(m.o_rtt, 1.0);   // no samples -> ideal
+  EXPECT_DOUBLE_EQ(m.o_pfc, 1.0);   // no pauses
+  EXPECT_DOUBLE_EQ(m.total_tx_gbps, 0.0);
+}
+
+TEST(MetricCollector, BusySenderShowsUtilisation) {
+  sim::Simulator sim;
+  sim::ClosTopology topo(&sim, tiny_clos());
+  MetricCollector mc(&topo);
+  topo.host(0).start_flow(1, 2, 8 << 20);  // cross-rack elephant
+  sim.run_until(milliseconds(1));
+  const NetworkMetrics m = mc.collect(milliseconds(1));
+  EXPECT_GT(m.o_tp, 0.5);  // single uncontended flow near line rate
+  EXPECT_GT(m.total_tx_gbps, 5.0);
+  EXPECT_GT(m.avg_rtt_us, 0.0);
+  EXPECT_GT(m.o_rtt, 0.0);
+  EXPECT_LE(m.o_rtt, 1.0);
+}
+
+TEST(MetricCollector, DeltasNotCumulative) {
+  sim::Simulator sim;
+  sim::ClosTopology topo(&sim, tiny_clos());
+  MetricCollector mc(&topo);
+  topo.host(0).start_flow(1, 2, 1 << 20);
+  sim.run_until(milliseconds(2));
+  mc.collect(milliseconds(2));
+  // Flow done; the next interval must read ~zero.
+  sim.run_until(milliseconds(4));
+  const NetworkMetrics m2 = mc.collect(milliseconds(2));
+  EXPECT_NEAR(m2.total_tx_gbps, 0.0, 0.2);
+}
+
+TEST(MetricCollector, IncastShowsPfcPenalty) {
+  sim::Simulator sim;
+  auto cfg = tiny_clos();
+  cfg.switch_cfg.buffer_bytes = 128 * 1024;
+  cfg.dcqcn.kmin_bytes = 1 << 20;  // ECN off: force PFC
+  cfg.dcqcn.kmax_bytes = 2 << 20;
+  sim::ClosTopology topo(&sim, cfg);
+  MetricCollector mc(&topo);
+  for (int src = 1; src < 4; ++src) {
+    topo.host(src).start_flow(static_cast<std::uint64_t>(src), 0, 4 << 20);
+  }
+  sim.run_until(milliseconds(2));
+  const NetworkMetrics m = mc.collect(milliseconds(2));
+  EXPECT_LT(m.o_pfc, 1.0);
+}
+
+}  // namespace
+}  // namespace paraleon::core

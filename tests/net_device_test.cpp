@@ -1,0 +1,183 @@
+// NetDevice: serialisation timing, priority, PFC pause semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/net_device.hpp"
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace paraleon::sim {
+namespace {
+
+/// Records every arriving packet with its time.
+class SinkNode : public Node {
+ public:
+  explicit SinkNode(Simulator* sim) : Node(99, false), sim_(sim) {}
+  void receive(const Packet& pkt, int in_port) override {
+    arrivals.push_back({sim_->now(), pkt, in_port});
+  }
+  struct Arrival {
+    Time t;
+    Packet pkt;
+    int in_port;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  Simulator* sim_;
+};
+
+Packet data_packet(std::uint32_t bytes, std::uint64_t flow = 1) {
+  Packet p;
+  p.flow_id = flow;
+  p.type = PacketType::kData;
+  p.priority = kPriorityData;
+  p.size_bytes = bytes;
+  return p;
+}
+
+Packet ctrl_packet(std::uint32_t bytes = 64) {
+  Packet p;
+  p.type = PacketType::kAck;
+  p.priority = kPriorityControl;
+  p.size_bytes = bytes;
+  return p;
+}
+
+class NetDeviceTest : public ::testing::Test {
+ protected:
+  NetDeviceTest()
+      : sink_(&sim_),
+        dev_(&sim_, &sink_, 7, gbps(10), microseconds(1)) {}
+  Simulator sim_;
+  SinkNode sink_;
+  NetDevice dev_;
+};
+
+TEST_F(NetDeviceTest, DeliversAfterSerializationPlusPropagation) {
+  dev_.enqueue(data_packet(1000), -1);
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 1u);
+  // 1000 B at 10 Gbps = 800 ns; + 1 us propagation.
+  EXPECT_EQ(sink_.arrivals[0].t, 800 + microseconds(1));
+  EXPECT_EQ(sink_.arrivals[0].in_port, 7);
+}
+
+TEST_F(NetDeviceTest, BackToBackSerializesSequentially) {
+  dev_.enqueue(data_packet(1000), -1);
+  dev_.enqueue(data_packet(1000), -1);
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 2u);
+  EXPECT_EQ(sink_.arrivals[1].t - sink_.arrivals[0].t, 800);
+}
+
+TEST_F(NetDeviceTest, ControlPreemptsQueuedData) {
+  // Fill with data, then a control packet: it should pass the waiting data.
+  dev_.enqueue(data_packet(1000), -1);
+  dev_.enqueue(data_packet(1000), -1);
+  dev_.enqueue(ctrl_packet(), -1);
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 3u);
+  // First data was already serialising; control goes second.
+  EXPECT_EQ(sink_.arrivals[0].pkt.type, PacketType::kData);
+  EXPECT_EQ(sink_.arrivals[1].pkt.type, PacketType::kAck);
+  EXPECT_EQ(sink_.arrivals[2].pkt.type, PacketType::kData);
+}
+
+TEST_F(NetDeviceTest, PauseStopsDataNotControl) {
+  dev_.pause_data(microseconds(100));
+  dev_.enqueue(data_packet(1000), -1);
+  dev_.enqueue(ctrl_packet(), -1);
+  sim_.run_until(microseconds(50));
+  ASSERT_EQ(sink_.arrivals.size(), 1u);
+  EXPECT_EQ(sink_.arrivals[0].pkt.type, PacketType::kAck);
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 2u);
+  // Data resumed at 100 us: arrival at 100 us + 800 ns + 1 us.
+  EXPECT_EQ(sink_.arrivals[1].t, microseconds(100) + 800 + microseconds(1));
+}
+
+TEST_F(NetDeviceTest, ResumeCancelsPause) {
+  dev_.pause_data(microseconds(100));
+  dev_.enqueue(data_packet(1000), -1);
+  sim_.run_until(microseconds(10));
+  dev_.resume_data();
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 1u);
+  EXPECT_EQ(sink_.arrivals[0].t, microseconds(10) + 800 + microseconds(1));
+}
+
+TEST_F(NetDeviceTest, PauseExtension) {
+  dev_.pause_data(microseconds(50));
+  sim_.run_until(microseconds(20));
+  dev_.pause_data(microseconds(50));  // extends to 70 us
+  dev_.enqueue(data_packet(1000), -1);
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 1u);
+  EXPECT_EQ(sink_.arrivals[0].t, microseconds(70) + 800 + microseconds(1));
+}
+
+TEST_F(NetDeviceTest, PausedTimeAccounted) {
+  dev_.pause_data(microseconds(40));
+  sim_.run();
+  EXPECT_EQ(dev_.paused_time(), microseconds(40));
+  EXPECT_EQ(dev_.pause_events(), 1u);
+}
+
+TEST_F(NetDeviceTest, PausedTimeIncludesOpenSpan) {
+  dev_.pause_data(microseconds(100));
+  sim_.run_until(microseconds(30));
+  EXPECT_EQ(dev_.paused_time(), microseconds(30));
+}
+
+TEST_F(NetDeviceTest, CountersSplitDataAndControl) {
+  dev_.enqueue(data_packet(1000), -1);
+  dev_.enqueue(ctrl_packet(64), -1);
+  sim_.run();
+  EXPECT_EQ(dev_.tx_data_bytes(), 1000);
+  EXPECT_EQ(dev_.tx_ctrl_bytes(), 64);
+  EXPECT_EQ(dev_.tx_data_packets(), 1u);
+}
+
+TEST_F(NetDeviceTest, OnDequeueHookFires) {
+  int hooks = 0;
+  dev_.on_dequeue = [&](const NetDevice::Queued& q) {
+    ++hooks;
+    EXPECT_EQ(q.in_port, 5);
+  };
+  dev_.enqueue(data_packet(1000), 5);
+  sim_.run();
+  EXPECT_EQ(hooks, 1);
+}
+
+TEST_F(NetDeviceTest, QueueBytesTracked) {
+  dev_.pause_data(microseconds(10));
+  dev_.enqueue(data_packet(1000), -1);
+  dev_.enqueue(data_packet(500), -1);
+  EXPECT_EQ(dev_.data_queue_bytes(), 1500);
+  EXPECT_EQ(dev_.data_queue_packets(), 2u);
+  sim_.run();
+  EXPECT_EQ(dev_.data_queue_bytes(), 0);
+}
+
+TEST_F(NetDeviceTest, TtlDecrementsOnHop) {
+  Packet p = data_packet(1000);
+  p.ttl = 64;
+  dev_.enqueue(p, -1);
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 1u);
+  EXPECT_EQ(sink_.arrivals[0].pkt.ttl, 63);
+}
+
+TEST_F(NetDeviceTest, LineRateThroughputSustained) {
+  // 100 packets of 1000 B at 10 Gbps should take exactly 100 * 800 ns of
+  // serialisation; the device must not exceed or undercut line rate.
+  for (int i = 0; i < 100; ++i) dev_.enqueue(data_packet(1000), -1);
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 100u);
+  EXPECT_EQ(sink_.arrivals.back().t, 100 * 800 + microseconds(1));
+}
+
+}  // namespace
+}  // namespace paraleon::sim

@@ -1,0 +1,141 @@
+// Tunable parameter space: bounds, directions, guided vs naive mutation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/param_space.hpp"
+
+namespace paraleon::core {
+namespace {
+
+constexpr Rate kLine = gbps(25);
+constexpr std::int64_t kBuffer = 12ll * 1024 * 1024;
+
+TEST(ParamSpace, StandardHasElevenParams) {
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  EXPECT_EQ(s.params().size(), 11u);
+}
+
+TEST(ParamSpace, AllTableIParamsPresent) {
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  std::vector<std::string> names;
+  for (const auto& p : s.params()) names.push_back(p.name);
+  for (const char* expected :
+       {"ai_rate", "hai_rate", "rate_reduce_monitor_period",
+        "min_time_between_cnps", "kmin", "kmax", "pmax"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(ParamSpace, GettersAndSettersRoundTrip) {
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  dcqcn::DcqcnParams p = dcqcn::default_params();
+  for (const auto& tp : s.params()) {
+    const double mid = (tp.lo + tp.hi) / 2.0;
+    tp.set(p, mid);
+    EXPECT_NEAR(tp.get(p), mid, std::abs(mid) * 1e-9 + 1.0) << tp.name;
+  }
+}
+
+TEST(ParamSpace, BoundsAreSane) {
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  for (const auto& tp : s.params()) {
+    EXPECT_LT(tp.lo, tp.hi) << tp.name;
+    EXPECT_GT(tp.step, 0.0) << tp.name;
+    EXPECT_LT(tp.step, tp.hi - tp.lo) << tp.name;
+    EXPECT_TRUE(tp.throughput_direction == 1 || tp.throughput_direction == -1)
+        << tp.name;
+  }
+}
+
+TEST(ParamSpace, GuidedMutationStaysLegal) {
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  Rng rng(3);
+  dcqcn::DcqcnParams p = dcqcn::default_params();
+  for (int i = 0; i < 500; ++i) {
+    p = s.mutate_guided(p, rng.uniform(), rng);
+    dcqcn::DcqcnParams check = p;
+    EXPECT_EQ(dcqcn::clamp_to_legal(check, kLine, kBuffer), 0) << i;
+    EXPECT_LE(p.kmin_bytes, p.kmax_bytes);
+  }
+}
+
+TEST(ParamSpace, NaiveMutationStaysLegal) {
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  Rng rng(5);
+  dcqcn::DcqcnParams p = dcqcn::default_params();
+  for (int i = 0; i < 500; ++i) {
+    p = s.mutate_naive(p, rng);
+    dcqcn::DcqcnParams check = p;
+    EXPECT_EQ(dcqcn::clamp_to_legal(check, kLine, kBuffer), 0) << i;
+  }
+}
+
+TEST(ParamSpace, FullThroughputBiasDrivesThroughputDirection) {
+  // With p_throughput = 1 every parameter moves in its throughput-friendly
+  // direction (until it saturates at a bound).
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  Rng rng(7);
+  const dcqcn::DcqcnParams base = dcqcn::default_params();
+  const dcqcn::DcqcnParams mutated = s.mutate_guided(base, 1.0, rng);
+  for (const auto& tp : s.params()) {
+    const double before = tp.get(base);
+    const double after = tp.get(mutated);
+    if (tp.throughput_direction > 0) {
+      EXPECT_GE(after, std::min(before, tp.hi) - 1e-9) << tp.name;
+    } else {
+      EXPECT_LE(after, std::max(before, tp.lo) + 1e-9) << tp.name;
+    }
+  }
+}
+
+TEST(ParamSpace, ThroughputBiasRaisesEcnThresholds) {
+  // Sanity on the Fig. 5 observations: kmin/kmax up, pmax down.
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  Rng rng(9);
+  const dcqcn::DcqcnParams base = dcqcn::default_params();
+  const dcqcn::DcqcnParams t = s.mutate_guided(base, 1.0, rng);
+  EXPECT_GE(t.kmin_bytes, base.kmin_bytes);
+  EXPECT_GE(t.kmax_bytes, base.kmax_bytes);
+  EXPECT_LE(t.pmax, base.pmax);
+  EXPECT_GE(t.ai_rate, base.ai_rate);
+}
+
+TEST(ParamSpace, DelayBiasLowersEcnThresholds) {
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  Rng rng(11);
+  dcqcn::DcqcnParams base = dcqcn::default_params();
+  // Start from mid-range so there is room to move down.
+  base.kmin_bytes = 512 * 1024;
+  base.kmax_bytes = 2048 * 1024;
+  const dcqcn::DcqcnParams d = s.mutate_guided(base, 0.0, rng);
+  EXPECT_LE(d.kmin_bytes, base.kmin_bytes);
+  EXPECT_LE(d.kmax_bytes, base.kmax_bytes);
+  EXPECT_GE(d.pmax, base.pmax);
+  EXPECT_LE(d.ai_rate, base.ai_rate);
+}
+
+TEST(ParamSpace, GuidedStepBounded) {
+  // Steps are s_p * rand(0.5, 1): never more than one full step per round.
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  Rng rng(13);
+  const dcqcn::DcqcnParams base = dcqcn::default_params();
+  for (int i = 0; i < 100; ++i) {
+    const dcqcn::DcqcnParams m = s.mutate_guided(base, 0.5, rng);
+    for (const auto& tp : s.params()) {
+      EXPECT_LE(std::abs(tp.get(m) - tp.get(base)), tp.step + 1e-6)
+          << tp.name;
+    }
+  }
+}
+
+TEST(ParamSpace, MutationIsDeterministicPerSeed) {
+  const ParamSpace s = ParamSpace::standard(kLine, kBuffer);
+  Rng a(42), b(42);
+  const dcqcn::DcqcnParams base = dcqcn::default_params();
+  EXPECT_EQ(s.mutate_guided(base, 0.7, a), s.mutate_guided(base, 0.7, b));
+}
+
+}  // namespace
+}  // namespace paraleon::core

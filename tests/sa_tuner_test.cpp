@@ -1,0 +1,223 @@
+// SA tuner: episode lifecycle, acceptance, convergence on a synthetic
+// utility landscape, and the guided-vs-naive convergence claim (Fig. 12's
+// mechanism at unit scale).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sa_tuner.hpp"
+#include "core/utility.hpp"
+
+namespace paraleon::core {
+namespace {
+
+constexpr Rate kLine = gbps(25);
+constexpr std::int64_t kBuffer = 12ll * 1024 * 1024;
+
+SaConfig short_sa() {
+  SaConfig c;
+  c.total_iter_num = 5;
+  c.initial_temp = 90;
+  c.final_temp = 10;
+  c.cooling_rate = 0.85;  // ~14 temps x 5 iters = 70 steps
+  return c;
+}
+
+SaTuner make_tuner(const SaConfig& cfg, std::uint64_t seed = 1) {
+  return SaTuner(ParamSpace::standard(kLine, kBuffer), cfg, seed);
+}
+
+/// Synthetic utility: rewards high kmin up to a sweet spot and low CNP
+/// pacing — smooth, single-peaked in two of the eleven dimensions.
+double synthetic_utility(const dcqcn::DcqcnParams& p) {
+  const double kmin_mb = static_cast<double>(p.kmin_bytes) / (1 << 20);
+  const double sweet = 2.0;
+  const double u_kmin = std::exp(-(kmin_mb - sweet) * (kmin_mb - sweet));
+  const double cnp_us = to_us(p.min_time_between_cnps);
+  const double u_cnp = std::exp(-std::pow((cnp_us - 100.0) / 200.0, 2.0));
+  return 50.0 * u_kmin + 50.0 * u_cnp;  // 0..100 scale
+}
+
+TEST(SaTuner, InactiveBeforeEpisode) {
+  SaTuner t = make_tuner(short_sa());
+  EXPECT_FALSE(t.active());
+  EXPECT_EQ(t.episodes(), 0u);
+}
+
+TEST(SaTuner, EpisodeStartsAtInitialTemp) {
+  SaTuner t = make_tuner(short_sa());
+  t.begin_episode(dcqcn::default_params());
+  EXPECT_TRUE(t.active());
+  EXPECT_DOUBLE_EQ(t.temperature(), 90.0);
+  EXPECT_EQ(t.episodes(), 1u);
+}
+
+TEST(SaTuner, FirstStepSeedsBaselineAndProposes) {
+  SaTuner t = make_tuner(short_sa());
+  const dcqcn::DcqcnParams base = dcqcn::default_params();
+  t.begin_episode(base);
+  const dcqcn::DcqcnParams cand = t.step(70.0, 0.5);
+  EXPECT_TRUE(t.active());
+  EXPECT_DOUBLE_EQ(t.best_utility(), 70.0);
+  EXPECT_NE(cand, base);  // a mutation was proposed
+  EXPECT_EQ(t.iterations_done(), 0);
+}
+
+TEST(SaTuner, TemperatureCoolsEveryTotalIterNum) {
+  SaTuner t = make_tuner(short_sa());
+  t.begin_episode(dcqcn::default_params());
+  t.step(50.0, 0.5);  // seed
+  for (int i = 0; i < 5; ++i) t.step(50.0, 0.5);
+  EXPECT_NEAR(t.temperature(), 90.0 * 0.85, 1e-9);
+}
+
+TEST(SaTuner, EpisodeEndsBelowFinalTemp) {
+  SaTuner t = make_tuner(short_sa());
+  t.begin_episode(dcqcn::default_params());
+  t.step(50.0, 0.5);
+  int steps = 0;
+  while (t.active() && steps < 10000) {
+    t.step(50.0, 0.5);
+    ++steps;
+  }
+  EXPECT_FALSE(t.active());
+  EXPECT_LT(t.temperature(), 10.0);
+  // 90 * 0.85^n < 10 -> n = 14 temperature levels, 5 iters each.
+  EXPECT_EQ(t.iterations_done(), 14 * 5);
+}
+
+TEST(SaTuner, BetterUtilityAlwaysAccepted) {
+  SaTuner t = make_tuner(short_sa());
+  t.begin_episode(dcqcn::default_params());
+  t.step(10.0, 0.5);
+  t.step(90.0, 0.5);  // much better: must become best
+  EXPECT_DOUBLE_EQ(t.best_utility(), 90.0);
+}
+
+TEST(SaTuner, BestNeverDecreases) {
+  SaTuner t = make_tuner(short_sa(), 3);
+  t.begin_episode(dcqcn::default_params());
+  Rng noise(9);
+  double prev_best = -1.0;
+  t.step(50.0, 0.5);
+  while (t.active()) {
+    t.step(noise.uniform(0.0, 100.0), 0.5);
+    EXPECT_GE(t.best_utility(), prev_best);
+    prev_best = t.best_utility();
+  }
+}
+
+TEST(SaTuner, AfterEpisodeStepReturnsBest) {
+  SaTuner t = make_tuner(short_sa());
+  t.begin_episode(dcqcn::default_params());
+  t.step(50.0, 0.5);
+  while (t.active()) t.step(50.0, 0.5);
+  const dcqcn::DcqcnParams best = t.best();
+  EXPECT_EQ(t.step(0.0, 0.5), best);
+}
+
+double run_episode(SaTuner& t) {
+  t.begin_episode(dcqcn::default_params());
+  dcqcn::DcqcnParams installed = dcqcn::default_params();
+  // Closed loop against the synthetic landscape, elephant share 0.8.
+  dcqcn::DcqcnParams cand = t.step(synthetic_utility(installed), 0.8);
+  while (t.active()) {
+    installed = cand;
+    cand = t.step(synthetic_utility(installed), 0.8);
+  }
+  return t.best_utility();
+}
+
+TEST(SaTuner, ImprovesOnSyntheticLandscape) {
+  SaTuner t = make_tuner(short_sa(), 17);
+  const double start = synthetic_utility(dcqcn::default_params());
+  const double best = run_episode(t);
+  EXPECT_GT(best, start + 5.0);  // meaningful improvement
+}
+
+TEST(SaTuner, GuidedConvergesFasterThanNaiveOnDirectionalLandscape) {
+  // The Fig. 12 mechanism at unit scale. When elephants dominate, utility
+  // grows monotonically along every parameter's throughput-friendly
+  // direction (the empirical single-parameter observation of §III-C).
+  // Guided randomness drifts towards it; naive SA random-walks. Averaged
+  // over seeds, guided must reach a higher best within a fixed budget.
+  const ParamSpace space = ParamSpace::standard(kLine, kBuffer);
+  const auto directional_utility = [&](const dcqcn::DcqcnParams& p) {
+    double sum = 0.0;
+    for (const auto& tp : space.params()) {
+      const double pos = (tp.get(p) - tp.lo) / (tp.hi - tp.lo);
+      sum += tp.throughput_direction > 0 ? pos : 1.0 - pos;
+    }
+    return 100.0 * sum / static_cast<double>(space.params().size());
+  };
+  const int kBudget = 100;
+  const auto run = [&](const SaConfig& cfg, std::uint64_t seed) {
+    SaTuner t = make_tuner(cfg, seed);
+    t.begin_episode(dcqcn::default_params());
+    dcqcn::DcqcnParams installed = dcqcn::default_params();
+    dcqcn::DcqcnParams cand = t.step(directional_utility(installed), 0.9);
+    for (int i = 0; i < kBudget && t.active(); ++i) {
+      installed = cand;
+      cand = t.step(directional_utility(installed), 0.9);
+    }
+    return t.best_utility();
+  };
+  double guided_sum = 0.0;
+  double naive_sum = 0.0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    SaConfig g = short_sa();
+    g.total_iter_num = 20;
+    guided_sum += run(g, seed);
+    SaConfig n = SaConfig::naive();
+    n.total_iter_num = 20;
+    naive_sum += run(n, seed);
+  }
+  EXPECT_GT(guided_sum / 16.0, naive_sum / 16.0);
+}
+
+TEST(SaTuner, NaiveConfigHasSlowCooling) {
+  const SaConfig n = SaConfig::naive();
+  EXPECT_FALSE(n.guided);
+  EXPECT_GT(n.cooling_rate, SaConfig{}.cooling_rate);
+}
+
+TEST(SaTuner, DeterministicPerSeed) {
+  SaTuner a = make_tuner(short_sa(), 99);
+  SaTuner b = make_tuner(short_sa(), 99);
+  a.begin_episode(dcqcn::default_params());
+  b.begin_episode(dcqcn::default_params());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.step(50.0 + i, 0.6), b.step(50.0 + i, 0.6));
+  }
+}
+
+TEST(SaTuner, SecondEpisodeRestartsTemperature) {
+  SaTuner t = make_tuner(short_sa());
+  t.begin_episode(dcqcn::default_params());
+  t.step(50.0, 0.5);
+  while (t.active()) t.step(50.0, 0.5);
+  t.begin_episode(t.best());
+  EXPECT_TRUE(t.active());
+  EXPECT_DOUBLE_EQ(t.temperature(), 90.0);
+  EXPECT_EQ(t.episodes(), 2u);
+}
+
+TEST(Utility, WeightsApply) {
+  NetworkMetrics m;
+  m.o_tp = 1.0;
+  m.o_rtt = 0.5;
+  m.o_pfc = 0.0;
+  const UtilityWeights w{0.2, 0.5, 0.3};
+  EXPECT_DOUBLE_EQ(utility(m, w), 0.2 * 1.0 + 0.5 * 0.5);
+}
+
+TEST(Utility, PerfectNetworkIsOne) {
+  NetworkMetrics m;
+  m.o_tp = 1.0;
+  m.o_rtt = 1.0;
+  m.o_pfc = 1.0;
+  EXPECT_DOUBLE_EQ(utility(m, UtilityWeights{}), 1.0);
+}
+
+}  // namespace
+}  // namespace paraleon::core

@@ -1,0 +1,210 @@
+// Elastic Sketch, NetFlow sampler and exact table.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "sketch/elastic_sketch.hpp"
+#include "sketch/netflow.hpp"
+
+namespace paraleon::sketch {
+namespace {
+
+sim::Packet packet_of(std::uint64_t flow, std::uint32_t bytes) {
+  sim::Packet p;
+  p.flow_id = flow;
+  p.type = sim::PacketType::kData;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(ElasticSketch, SingleFlowExact) {
+  ElasticSketch es(ElasticSketchConfig{});
+  for (int i = 0; i < 100; ++i) es.insert(42, 1000);
+  EXPECT_EQ(es.query(42), 100000);
+}
+
+TEST(ElasticSketch, UnseenFlowUsuallyZero) {
+  ElasticSketch es(ElasticSketchConfig{});
+  es.insert(42, 1000);
+  // A different flow that doesn't collide reads 0 from the light part.
+  EXPECT_EQ(es.query(987654321), 0);
+}
+
+TEST(ElasticSketch, HeavyFlowsListsResidents) {
+  ElasticSketch es(ElasticSketchConfig{});
+  es.insert(1, 5000);
+  es.insert(2, 7000);
+  const auto flows = es.heavy_flows();
+  std::map<std::uint64_t, std::int64_t> m;
+  for (const auto& r : flows) m[r.flow_id] = r.bytes;
+  EXPECT_EQ(m[1], 5000);
+  EXPECT_EQ(m[2], 7000);
+}
+
+TEST(ElasticSketch, ResetClears) {
+  ElasticSketch es(ElasticSketchConfig{});
+  es.insert(1, 5000);
+  es.reset();
+  EXPECT_EQ(es.query(1), 0);
+  EXPECT_TRUE(es.heavy_flows().empty());
+}
+
+TEST(ElasticSketch, OstracismEvictsOutvotedFlow) {
+  // Single bucket forces every flow to collide.
+  ElasticSketchConfig cfg;
+  cfg.heavy_buckets = 1;
+  cfg.lambda = 2.0;
+  ElasticSketch es(cfg);
+  es.insert(1, 100);  // resident
+  // Flow 2 votes against until 2 * vote+ reached -> eviction.
+  es.insert(2, 100);  // vote- = 100 < 200
+  EXPECT_EQ(es.evictions(), 0u);
+  es.insert(2, 100);  // vote- = 200 >= 2*100: evict flow 1
+  EXPECT_EQ(es.evictions(), 1u);
+  // Flow 1's bytes moved to the light part; still queryable.
+  EXPECT_EQ(es.query(1), 100);
+  // Flow 2 owns the bucket now with the last packet's bytes, flagged, and
+  // its earlier (light) bytes folded into the estimate.
+  EXPECT_GE(es.query(2), 100);
+}
+
+TEST(ElasticSketch, EstimateNeverUnderestimatesWithCollisions) {
+  // Small sketch + many flows: collisions push flows to the light part,
+  // which only overestimates. Property over seeds.
+  ElasticSketchConfig cfg;
+  cfg.heavy_buckets = 64;
+  cfg.light_counters = 256;
+  ElasticSketch es(cfg);
+  Rng rng(3);
+  std::map<std::uint64_t, std::int64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t f = rng.uniform_index(300);
+    truth[f] += 1000;
+    es.insert(f, 1000);
+  }
+  int underestimates = 0;
+  for (const auto& [f, bytes] : truth) {
+    if (es.query(f) < bytes) ++underestimates;
+  }
+  // The heavy part can underestimate a flow that was evicted mid-life and
+  // re-admitted (its light remnant is folded back via the flag), so allow
+  // a small fraction.
+  EXPECT_LT(underestimates, 30);
+}
+
+TEST(ElasticSketch, AccurateForTopFlowsAtScale) {
+  ElasticSketchConfig cfg;  // default: 4096 buckets
+  ElasticSketch es(cfg);
+  Rng rng(7);
+  std::map<std::uint64_t, std::int64_t> truth;
+  // 500 flows, heavy-tailed.
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t f = rng.uniform_index(500);
+    const std::int64_t bytes = (f < 20) ? 4096 : 256;
+    truth[f] += bytes;
+    es.insert(f, bytes);
+  }
+  // Elephants (the 20 big flows) must be measured within 10%.
+  for (std::uint64_t f = 0; f < 20; ++f) {
+    EXPECT_NEAR(static_cast<double>(es.query(f)),
+                static_cast<double>(truth[f]), 0.1 * truth[f]);
+  }
+}
+
+TEST(ElasticSketch, TosMarkingConfigControlsHookResult) {
+  ElasticSketchConfig cfg;
+  cfg.use_tos_marking = true;
+  ElasticSketch marking(cfg);
+  EXPECT_TRUE(marking.on_data_packet(packet_of(1, 1000)));
+  cfg.use_tos_marking = false;
+  ElasticSketch naive(cfg);
+  EXPECT_FALSE(naive.on_data_packet(packet_of(1, 1000)));
+  // Both recorded the bytes.
+  EXPECT_EQ(marking.query(1), 1000);
+  EXPECT_EQ(naive.query(1), 1000);
+}
+
+TEST(ElasticSketch, MemoryFootprintMatchesConfig) {
+  ElasticSketchConfig cfg;
+  cfg.heavy_buckets = 1024;
+  cfg.light_counters = 2048;
+  ElasticSketch es(cfg);
+  EXPECT_GT(es.memory_bytes(), 1024u * 16);
+  EXPECT_LT(es.memory_bytes(), 1024u * 40 + 2048u * 8 + 1024);
+}
+
+class SketchLoadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SketchLoadTest, HeavyHitterRecallUnderLoad) {
+  const int n_flows = GetParam();
+  ElasticSketch es(ElasticSketchConfig{});
+  Rng rng(11);
+  // n_flows mice plus 10 elephants.
+  for (int i = 0; i < n_flows * 20; ++i) {
+    es.insert(1000 + rng.uniform_index(n_flows), 500);
+  }
+  for (int e = 0; e < 10; ++e) {
+    for (int i = 0; i < 2000; ++i) es.insert(static_cast<std::uint64_t>(e), 1500);
+  }
+  // All 10 elephants must be present in the heavy part with large counts.
+  const auto flows = es.heavy_flows();
+  int elephants_found = 0;
+  for (const auto& r : flows) {
+    if (r.flow_id < 10 && r.bytes > 1000000) ++elephants_found;
+  }
+  EXPECT_EQ(elephants_found, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, SketchLoadTest,
+                         ::testing::Values(100, 500, 2000));
+
+TEST(NetFlow, UnbiasedEstimateForLargeFlow) {
+  NetFlowConfig cfg;
+  cfg.sampling_rate = 100;
+  cfg.seed = 5;
+  NetFlow nf(cfg);
+  for (int i = 0; i < 100000; ++i) nf.on_data_packet(packet_of(1, 1000));
+  const auto flows = nf.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  // 100 MB true size; sampled estimate within 10%.
+  EXPECT_NEAR(static_cast<double>(flows[0].bytes), 1e8, 1e7);
+}
+
+TEST(NetFlow, MissesMostMiceFlows) {
+  NetFlowConfig cfg;
+  cfg.sampling_rate = 100;
+  NetFlow nf(cfg);
+  // 1000 mice of 10 packets each: expect ~10% to be sampled at all.
+  for (std::uint64_t f = 0; f < 1000; ++f) {
+    for (int i = 0; i < 10; ++i) nf.on_data_packet(packet_of(f, 1000));
+  }
+  EXPECT_LT(nf.tracked_flows(), 300u);
+  EXPECT_GT(nf.tracked_flows(), 10u);
+}
+
+TEST(NetFlow, NeverClaimsTosBit) {
+  NetFlow nf(NetFlowConfig{1, 1});  // sample every packet
+  EXPECT_FALSE(nf.on_data_packet(packet_of(1, 1000)));
+}
+
+TEST(NetFlow, ResetClears) {
+  NetFlow nf(NetFlowConfig{1, 1});
+  nf.on_data_packet(packet_of(1, 1000));
+  ASSERT_EQ(nf.tracked_flows(), 1u);
+  nf.reset();
+  EXPECT_EQ(nf.tracked_flows(), 0u);
+}
+
+TEST(ExactFlowTable, ExactAndResettable) {
+  ExactFlowTable t;
+  t.on_data_packet(packet_of(7, 500));
+  t.insert(7, 500);
+  EXPECT_EQ(t.query(7), 1000);
+  EXPECT_EQ(t.query(8), 0);
+  t.reset();
+  EXPECT_EQ(t.query(7), 0);
+}
+
+}  // namespace
+}  // namespace paraleon::sketch

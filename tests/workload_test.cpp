@@ -1,0 +1,273 @@
+// Workload generators: distributions, Poisson load targeting, alltoall
+// ON-OFF rounds.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/alltoall_workload.hpp"
+#include "workload/poisson_workload.hpp"
+#include "workload/size_distribution.hpp"
+
+namespace paraleon::workload {
+namespace {
+
+TEST(SizeDistribution, SamplesWithinSupport) {
+  Rng rng(1);
+  const auto& d = fb_hadoop_distribution();
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = d.sample(rng);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 30 << 20);
+  }
+}
+
+TEST(SizeDistribution, SampleMeanMatchesAnalyticMean) {
+  Rng rng(2);
+  const auto& d = fb_hadoop_distribution();
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(d.sample(rng));
+  EXPECT_NEAR(sum / kN, d.mean_bytes(), d.mean_bytes() * 0.05);
+}
+
+TEST(SizeDistribution, FbHadoopIsMiceDominatedByCount) {
+  // >= 85% of flows below 1 MB.
+  const auto& d = fb_hadoop_distribution();
+  EXPECT_LT(d.fraction_at_least(1 << 20), 0.15);
+  EXPECT_GT(d.fraction_at_least(1 << 20), 0.01);
+}
+
+TEST(SizeDistribution, FbHadoopIsElephantDominatedByBytes) {
+  // The defining FB_Hadoop property: most bytes come from >= 1MB flows.
+  Rng rng(3);
+  const auto& d = fb_hadoop_distribution();
+  double total = 0.0;
+  double elephant = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const auto s = static_cast<double>(d.sample(rng));
+    total += s;
+    if (s >= (1 << 20)) elephant += s;
+  }
+  EXPECT_GT(elephant / total, 0.5);
+}
+
+TEST(SizeDistribution, SolarRpcAllMice) {
+  Rng rng(4);
+  const auto& d = solar_rpc_distribution();
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LE(d.sample(rng), 128 << 10);
+  }
+  EXPECT_DOUBLE_EQ(d.fraction_at_least(129 << 10), 0.0);
+}
+
+TEST(SizeDistribution, FractionAtLeastMonotone) {
+  const auto& d = fb_hadoop_distribution();
+  double prev = 1.0;
+  for (double t : {100.0, 1e3, 1e4, 1e5, 1e6, 1e7}) {
+    const double f = d.fraction_at_least(t);
+    EXPECT_LE(f, prev + 1e-12);
+    prev = f;
+  }
+}
+
+TEST(PoissonWorkload, MeanInterarrivalMatchesLoadFormula) {
+  PoissonConfig cfg;
+  cfg.hosts = {0, 1, 2, 3};
+  cfg.sizes = &fb_hadoop_distribution();
+  cfg.load = 0.5;
+  cfg.host_rate = gbps(10);
+  PoissonWorkload w(cfg);
+  const double lambda =
+      0.5 * 10e9 * 4 / (8.0 * fb_hadoop_distribution().mean_bytes());
+  EXPECT_NEAR(static_cast<double>(w.mean_interarrival()), 1e9 / lambda,
+              1e9 / lambda * 0.01);
+}
+
+TEST(PoissonWorkload, GeneratesTargetLoad) {
+  sim::Simulator sim;
+  PoissonConfig cfg;
+  cfg.hosts = {0, 1, 2, 3, 4, 5, 6, 7};
+  cfg.sizes = &fb_hadoop_distribution();
+  cfg.load = 0.3;
+  cfg.host_rate = gbps(10);
+  cfg.stop = milliseconds(200);
+  cfg.seed = 5;
+  PoissonWorkload w(cfg);
+  std::int64_t bytes = 0;
+  w.install(sim, [&](const FlowSpec& f) { bytes += f.size_bytes; });
+  sim.run();
+  // Offered bytes over 200 ms must equal load * rate * hosts within 15%.
+  const double expected = 0.3 * 10e9 / 8.0 * 0.2 * 8;
+  EXPECT_NEAR(static_cast<double>(bytes), expected, expected * 0.15);
+}
+
+TEST(PoissonWorkload, SrcNeverEqualsDst) {
+  sim::Simulator sim;
+  PoissonConfig cfg;
+  cfg.hosts = {3, 9};
+  cfg.sizes = &solar_rpc_distribution();
+  cfg.load = 0.5;
+  cfg.host_rate = gbps(10);
+  cfg.stop = milliseconds(10);
+  PoissonWorkload w(cfg);
+  w.install(sim, [&](const FlowSpec& f) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_TRUE(f.src == 3 || f.src == 9);
+  });
+  sim.run();
+  EXPECT_GT(w.flows_started(), 0u);
+}
+
+TEST(PoissonWorkload, FlowIdsUniqueWithBase) {
+  sim::Simulator sim;
+  PoissonConfig cfg;
+  cfg.hosts = {0, 1, 2};
+  cfg.sizes = &solar_rpc_distribution();
+  cfg.load = 0.8;
+  cfg.host_rate = gbps(10);
+  cfg.stop = milliseconds(20);
+  cfg.flow_id_base = 7ull << 32;
+  PoissonWorkload w(cfg);
+  std::unordered_set<std::uint64_t> ids;
+  w.install(sim, [&](const FlowSpec& f) {
+    EXPECT_TRUE(ids.insert(f.flow_id).second);
+    EXPECT_GE(f.flow_id, 7ull << 32);
+  });
+  sim.run();
+}
+
+TEST(PoissonWorkload, RespectsStartStopWindow) {
+  sim::Simulator sim;
+  PoissonConfig cfg;
+  cfg.hosts = {0, 1};
+  cfg.sizes = &solar_rpc_distribution();
+  cfg.load = 0.9;
+  cfg.host_rate = gbps(10);
+  cfg.start = milliseconds(5);
+  cfg.stop = milliseconds(10);
+  PoissonWorkload w(cfg);
+  w.install(sim, [&](const FlowSpec&) {
+    EXPECT_GE(sim.now(), milliseconds(5));
+    EXPECT_LT(sim.now(), milliseconds(10));
+  });
+  sim.run();
+  EXPECT_GT(w.flows_started(), 0u);
+}
+
+TEST(PoissonWorkload, DeterministicPerSeed) {
+  const auto run = [] {
+    sim::Simulator sim;
+    PoissonConfig cfg;
+    cfg.hosts = {0, 1, 2, 3};
+    cfg.sizes = &fb_hadoop_distribution();
+    cfg.load = 0.4;
+    cfg.host_rate = gbps(10);
+    cfg.stop = milliseconds(20);
+    cfg.seed = 123;
+    PoissonWorkload w(cfg);
+    std::vector<std::int64_t> sizes;
+    w.install(sim, [&](const FlowSpec& f) { sizes.push_back(f.size_bytes); });
+    sim.run();
+    return sizes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Alltoall, FirstRoundStartsAllPairs) {
+  sim::Simulator sim;
+  AlltoallConfig cfg;
+  cfg.workers = {0, 1, 2, 3};
+  cfg.flow_size = 1000;
+  AlltoallWorkload w(cfg);
+  int flows = 0;
+  w.install(sim, [&](const FlowSpec& f) {
+    ++flows;
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_EQ(f.size_bytes, 1000);
+  });
+  sim.run_until(1);
+  EXPECT_EQ(flows, 12);  // 4 * 3 ordered pairs
+  EXPECT_TRUE(w.round_in_progress());
+}
+
+TEST(Alltoall, NextRoundAfterOffPeriod) {
+  sim::Simulator sim;
+  AlltoallConfig cfg;
+  cfg.workers = {0, 1};
+  cfg.flow_size = 1000;
+  cfg.off_period = milliseconds(5);
+  AlltoallWorkload w(cfg);
+  std::vector<std::uint64_t> started;
+  std::vector<Time> start_times;
+  w.install(sim, [&](const FlowSpec& f) {
+    started.push_back(f.flow_id);
+    start_times.push_back(sim.now());
+  });
+  sim.run_until(1);
+  ASSERT_EQ(started.size(), 2u);
+  // Complete round 1 at t = 1 ms.
+  sim.schedule_at(milliseconds(1), [&] {
+    w.on_flow_complete(started[0], sim.now());
+    w.on_flow_complete(started[1], sim.now());
+  });
+  sim.run_until(milliseconds(10));
+  ASSERT_EQ(started.size(), 4u);  // round 2 started
+  EXPECT_EQ(start_times[2], milliseconds(6));  // 1 ms finish + 5 ms OFF
+  EXPECT_EQ(w.rounds_completed(), 1);
+  EXPECT_EQ(w.round_times()[0], milliseconds(1));
+}
+
+TEST(Alltoall, MaxRoundsRespected) {
+  sim::Simulator sim;
+  AlltoallConfig cfg;
+  cfg.workers = {0, 1};
+  cfg.flow_size = 1000;
+  cfg.off_period = 0;
+  cfg.max_rounds = 2;
+  AlltoallWorkload w(cfg);
+  std::vector<std::uint64_t> started;
+  w.install(sim, [&](const FlowSpec& f) {
+    started.push_back(f.flow_id);
+    // Complete instantly.
+    sim.schedule_in(1, [&w, id = f.flow_id, &sim] {
+      w.on_flow_complete(id, sim.now());
+    });
+  });
+  sim.run_until(milliseconds(1));
+  EXPECT_EQ(started.size(), 4u);  // 2 rounds x 2 flows, then stop
+  EXPECT_EQ(w.rounds_completed(), 2);
+}
+
+TEST(Alltoall, AlgbwComputation) {
+  sim::Simulator sim;
+  AlltoallConfig cfg;
+  cfg.workers = {0, 1, 2};
+  cfg.flow_size = 1 << 20;
+  cfg.max_rounds = 1;
+  AlltoallWorkload w(cfg);
+  std::vector<std::uint64_t> ids;
+  w.install(sim, [&](const FlowSpec& f) { ids.push_back(f.flow_id); });
+  sim.run_until(1);
+  sim.schedule_at(milliseconds(2), [&] {
+    for (auto id : ids) w.on_flow_complete(id, sim.now());
+  });
+  sim.run_until(milliseconds(3));
+  ASSERT_EQ(w.rounds_completed(), 1);
+  // bytes per rank = 2 MB over 2 ms = 1 GB/s.
+  EXPECT_NEAR(w.round_algbw_gbs(0), 2.0 * (1 << 20) / 0.002 / 1e9, 1e-6);
+}
+
+TEST(Alltoall, IgnoresForeignFlowIds) {
+  sim::Simulator sim;
+  AlltoallConfig cfg;
+  cfg.workers = {0, 1};
+  cfg.flow_size = 1000;
+  AlltoallWorkload w(cfg);
+  w.install(sim, [](const FlowSpec&) {});
+  sim.run_until(1);
+  w.on_flow_complete(999999, 10);  // not ours: no crash, no round end
+  EXPECT_EQ(w.rounds_completed(), 0);
+}
+
+}  // namespace
+}  // namespace paraleon::workload
