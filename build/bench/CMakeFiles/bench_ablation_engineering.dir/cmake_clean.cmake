@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_engineering.dir/bench_ablation_engineering.cpp.o"
+  "CMakeFiles/bench_ablation_engineering.dir/bench_ablation_engineering.cpp.o.d"
+  "bench_ablation_engineering"
+  "bench_ablation_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

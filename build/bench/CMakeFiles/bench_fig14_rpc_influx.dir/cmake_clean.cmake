@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rpc_influx.dir/bench_fig14_rpc_influx.cpp.o"
+  "CMakeFiles/bench_fig14_rpc_influx.dir/bench_fig14_rpc_influx.cpp.o.d"
+  "bench_fig14_rpc_influx"
+  "bench_fig14_rpc_influx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rpc_influx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_single_param.dir/bench_fig5_single_param.cpp.o"
+  "CMakeFiles/bench_fig5_single_param.dir/bench_fig5_single_param.cpp.o.d"
+  "bench_fig5_single_param"
+  "bench_fig5_single_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_single_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_inter_param.dir/bench_fig6_inter_param.cpp.o"
+  "CMakeFiles/bench_fig6_inter_param.dir/bench_fig6_inter_param.cpp.o.d"
+  "bench_fig6_inter_param"
+  "bench_fig6_inter_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_inter_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

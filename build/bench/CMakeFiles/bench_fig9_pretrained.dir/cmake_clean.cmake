@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_pretrained.dir/bench_fig9_pretrained.cpp.o"
+  "CMakeFiles/bench_fig9_pretrained.dir/bench_fig9_pretrained.cpp.o.d"
+  "bench_fig9_pretrained"
+  "bench_fig9_pretrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_pretrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

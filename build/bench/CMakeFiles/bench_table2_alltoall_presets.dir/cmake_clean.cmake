@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_alltoall_presets.dir/bench_table2_alltoall_presets.cpp.o"
+  "CMakeFiles/bench_table2_alltoall_presets.dir/bench_table2_alltoall_presets.cpp.o.d"
+  "bench_table2_alltoall_presets"
+  "bench_table2_alltoall_presets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_alltoall_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

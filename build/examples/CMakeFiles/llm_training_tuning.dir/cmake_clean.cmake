@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_training_tuning.dir/llm_training_tuning.cpp.o"
+  "CMakeFiles/llm_training_tuning.dir/llm_training_tuning.cpp.o.d"
+  "llm_training_tuning"
+  "llm_training_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_training_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_cli.dir/paraleon_cli.cpp.o"
+  "CMakeFiles/paraleon_cli.dir/paraleon_cli.cpp.o.d"
+  "paraleon_cli"
+  "paraleon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

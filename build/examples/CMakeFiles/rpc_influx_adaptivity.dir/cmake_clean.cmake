@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_influx_adaptivity.dir/rpc_influx_adaptivity.cpp.o"
+  "CMakeFiles/rpc_influx_adaptivity.dir/rpc_influx_adaptivity.cpp.o.d"
+  "rpc_influx_adaptivity"
+  "rpc_influx_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_influx_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

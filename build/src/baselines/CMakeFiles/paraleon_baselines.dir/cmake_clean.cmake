@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_baselines.dir/acc.cpp.o"
+  "CMakeFiles/paraleon_baselines.dir/acc.cpp.o.d"
+  "libparaleon_baselines.a"
+  "libparaleon_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

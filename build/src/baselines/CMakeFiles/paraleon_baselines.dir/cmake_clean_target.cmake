@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparaleon_baselines.a"
+)

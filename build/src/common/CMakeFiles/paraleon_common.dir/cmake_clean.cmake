@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_common.dir/rng.cpp.o"
+  "CMakeFiles/paraleon_common.dir/rng.cpp.o.d"
+  "libparaleon_common.a"
+  "libparaleon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

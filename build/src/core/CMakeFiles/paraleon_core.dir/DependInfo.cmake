@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/paraleon_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/paraleon_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/flow_state.cpp" "src/core/CMakeFiles/paraleon_core.dir/flow_state.cpp.o" "gcc" "src/core/CMakeFiles/paraleon_core.dir/flow_state.cpp.o.d"
+  "/root/repo/src/core/fsd.cpp" "src/core/CMakeFiles/paraleon_core.dir/fsd.cpp.o" "gcc" "src/core/CMakeFiles/paraleon_core.dir/fsd.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/paraleon_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/paraleon_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/param_space.cpp" "src/core/CMakeFiles/paraleon_core.dir/param_space.cpp.o" "gcc" "src/core/CMakeFiles/paraleon_core.dir/param_space.cpp.o.d"
+  "/root/repo/src/core/sa_tuner.cpp" "src/core/CMakeFiles/paraleon_core.dir/sa_tuner.cpp.o" "gcc" "src/core/CMakeFiles/paraleon_core.dir/sa_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/paraleon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcqcn/CMakeFiles/paraleon_dcqcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/paraleon_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/paraleon_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

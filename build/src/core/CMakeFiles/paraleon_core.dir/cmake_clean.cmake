@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_core.dir/controller.cpp.o"
+  "CMakeFiles/paraleon_core.dir/controller.cpp.o.d"
+  "CMakeFiles/paraleon_core.dir/flow_state.cpp.o"
+  "CMakeFiles/paraleon_core.dir/flow_state.cpp.o.d"
+  "CMakeFiles/paraleon_core.dir/fsd.cpp.o"
+  "CMakeFiles/paraleon_core.dir/fsd.cpp.o.d"
+  "CMakeFiles/paraleon_core.dir/monitor.cpp.o"
+  "CMakeFiles/paraleon_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/paraleon_core.dir/param_space.cpp.o"
+  "CMakeFiles/paraleon_core.dir/param_space.cpp.o.d"
+  "CMakeFiles/paraleon_core.dir/sa_tuner.cpp.o"
+  "CMakeFiles/paraleon_core.dir/sa_tuner.cpp.o.d"
+  "libparaleon_core.a"
+  "libparaleon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

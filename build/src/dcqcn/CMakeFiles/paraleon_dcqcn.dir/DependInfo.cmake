@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcqcn/params.cpp" "src/dcqcn/CMakeFiles/paraleon_dcqcn.dir/params.cpp.o" "gcc" "src/dcqcn/CMakeFiles/paraleon_dcqcn.dir/params.cpp.o.d"
+  "/root/repo/src/dcqcn/rp.cpp" "src/dcqcn/CMakeFiles/paraleon_dcqcn.dir/rp.cpp.o" "gcc" "src/dcqcn/CMakeFiles/paraleon_dcqcn.dir/rp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/paraleon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

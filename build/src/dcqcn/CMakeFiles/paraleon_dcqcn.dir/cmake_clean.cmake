@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_dcqcn.dir/params.cpp.o"
+  "CMakeFiles/paraleon_dcqcn.dir/params.cpp.o.d"
+  "CMakeFiles/paraleon_dcqcn.dir/rp.cpp.o"
+  "CMakeFiles/paraleon_dcqcn.dir/rp.cpp.o.d"
+  "libparaleon_dcqcn.a"
+  "libparaleon_dcqcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_dcqcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_runner.dir/experiment.cpp.o"
+  "CMakeFiles/paraleon_runner.dir/experiment.cpp.o.d"
+  "CMakeFiles/paraleon_runner.dir/scheme.cpp.o"
+  "CMakeFiles/paraleon_runner.dir/scheme.cpp.o.d"
+  "libparaleon_runner.a"
+  "libparaleon_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

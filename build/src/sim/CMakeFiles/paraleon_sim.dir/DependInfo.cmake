@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/host_node.cpp" "src/sim/CMakeFiles/paraleon_sim.dir/host_node.cpp.o" "gcc" "src/sim/CMakeFiles/paraleon_sim.dir/host_node.cpp.o.d"
+  "/root/repo/src/sim/net_device.cpp" "src/sim/CMakeFiles/paraleon_sim.dir/net_device.cpp.o" "gcc" "src/sim/CMakeFiles/paraleon_sim.dir/net_device.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/paraleon_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/paraleon_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/switch_node.cpp" "src/sim/CMakeFiles/paraleon_sim.dir/switch_node.cpp.o" "gcc" "src/sim/CMakeFiles/paraleon_sim.dir/switch_node.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/paraleon_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/paraleon_sim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/paraleon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcqcn/CMakeFiles/paraleon_dcqcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/paraleon_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

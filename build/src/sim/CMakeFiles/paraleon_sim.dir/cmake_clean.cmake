@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_sim.dir/host_node.cpp.o"
+  "CMakeFiles/paraleon_sim.dir/host_node.cpp.o.d"
+  "CMakeFiles/paraleon_sim.dir/net_device.cpp.o"
+  "CMakeFiles/paraleon_sim.dir/net_device.cpp.o.d"
+  "CMakeFiles/paraleon_sim.dir/simulator.cpp.o"
+  "CMakeFiles/paraleon_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/paraleon_sim.dir/switch_node.cpp.o"
+  "CMakeFiles/paraleon_sim.dir/switch_node.cpp.o.d"
+  "CMakeFiles/paraleon_sim.dir/topology.cpp.o"
+  "CMakeFiles/paraleon_sim.dir/topology.cpp.o.d"
+  "libparaleon_sim.a"
+  "libparaleon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

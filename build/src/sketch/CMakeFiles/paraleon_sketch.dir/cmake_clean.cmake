@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_sketch.dir/elastic_sketch.cpp.o"
+  "CMakeFiles/paraleon_sketch.dir/elastic_sketch.cpp.o.d"
+  "CMakeFiles/paraleon_sketch.dir/netflow.cpp.o"
+  "CMakeFiles/paraleon_sketch.dir/netflow.cpp.o.d"
+  "libparaleon_sketch.a"
+  "libparaleon_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/csv_export.cpp" "src/stats/CMakeFiles/paraleon_stats.dir/csv_export.cpp.o" "gcc" "src/stats/CMakeFiles/paraleon_stats.dir/csv_export.cpp.o.d"
+  "/root/repo/src/stats/fct_tracker.cpp" "src/stats/CMakeFiles/paraleon_stats.dir/fct_tracker.cpp.o" "gcc" "src/stats/CMakeFiles/paraleon_stats.dir/fct_tracker.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/stats/CMakeFiles/paraleon_stats.dir/percentile.cpp.o" "gcc" "src/stats/CMakeFiles/paraleon_stats.dir/percentile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/paraleon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

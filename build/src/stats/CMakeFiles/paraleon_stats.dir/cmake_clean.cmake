@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_stats.dir/csv_export.cpp.o"
+  "CMakeFiles/paraleon_stats.dir/csv_export.cpp.o.d"
+  "CMakeFiles/paraleon_stats.dir/fct_tracker.cpp.o"
+  "CMakeFiles/paraleon_stats.dir/fct_tracker.cpp.o.d"
+  "CMakeFiles/paraleon_stats.dir/percentile.cpp.o"
+  "CMakeFiles/paraleon_stats.dir/percentile.cpp.o.d"
+  "libparaleon_stats.a"
+  "libparaleon_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

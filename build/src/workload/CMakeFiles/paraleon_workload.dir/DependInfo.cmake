@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/alltoall_workload.cpp" "src/workload/CMakeFiles/paraleon_workload.dir/alltoall_workload.cpp.o" "gcc" "src/workload/CMakeFiles/paraleon_workload.dir/alltoall_workload.cpp.o.d"
+  "/root/repo/src/workload/poisson_workload.cpp" "src/workload/CMakeFiles/paraleon_workload.dir/poisson_workload.cpp.o" "gcc" "src/workload/CMakeFiles/paraleon_workload.dir/poisson_workload.cpp.o.d"
+  "/root/repo/src/workload/size_distribution.cpp" "src/workload/CMakeFiles/paraleon_workload.dir/size_distribution.cpp.o" "gcc" "src/workload/CMakeFiles/paraleon_workload.dir/size_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/paraleon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcqcn/CMakeFiles/paraleon_dcqcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/paraleon_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraleon_workload.dir/alltoall_workload.cpp.o"
+  "CMakeFiles/paraleon_workload.dir/alltoall_workload.cpp.o.d"
+  "CMakeFiles/paraleon_workload.dir/poisson_workload.cpp.o"
+  "CMakeFiles/paraleon_workload.dir/poisson_workload.cpp.o.d"
+  "CMakeFiles/paraleon_workload.dir/size_distribution.cpp.o"
+  "CMakeFiles/paraleon_workload.dir/size_distribution.cpp.o.d"
+  "libparaleon_workload.a"
+  "libparaleon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraleon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

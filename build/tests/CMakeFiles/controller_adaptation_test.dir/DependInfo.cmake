@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/controller_adaptation_test.cpp" "tests/CMakeFiles/controller_adaptation_test.dir/controller_adaptation_test.cpp.o" "gcc" "tests/CMakeFiles/controller_adaptation_test.dir/controller_adaptation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/paraleon_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/paraleon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/paraleon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/paraleon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/paraleon_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcqcn/CMakeFiles/paraleon_dcqcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/paraleon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paraleon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_adaptation_test.dir/controller_adaptation_test.cpp.o"
+  "CMakeFiles/controller_adaptation_test.dir/controller_adaptation_test.cpp.o.d"
+  "controller_adaptation_test"
+  "controller_adaptation_test.pdb"
+  "controller_adaptation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_adaptation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcqcn_behavior_test.dir/dcqcn_behavior_test.cpp.o"
+  "CMakeFiles/dcqcn_behavior_test.dir/dcqcn_behavior_test.cpp.o.d"
+  "dcqcn_behavior_test"
+  "dcqcn_behavior_test.pdb"
+  "dcqcn_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcqcn_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcqcn_params_test.dir/dcqcn_params_test.cpp.o"
+  "CMakeFiles/dcqcn_params_test.dir/dcqcn_params_test.cpp.o.d"
+  "dcqcn_params_test"
+  "dcqcn_params_test.pdb"
+  "dcqcn_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcqcn_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcqcn_rp_test.dir/dcqcn_rp_test.cpp.o"
+  "CMakeFiles/dcqcn_rp_test.dir/dcqcn_rp_test.cpp.o.d"
+  "dcqcn_rp_test"
+  "dcqcn_rp_test.pdb"
+  "dcqcn_rp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcqcn_rp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_topology_test.dir/host_topology_test.cpp.o"
+  "CMakeFiles/host_topology_test.dir/host_topology_test.cpp.o.d"
+  "host_topology_test"
+  "host_topology_test.pdb"
+  "host_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_device_test.dir/net_device_test.cpp.o"
+  "CMakeFiles/net_device_test.dir/net_device_test.cpp.o.d"
+  "net_device_test"
+  "net_device_test.pdb"
+  "net_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_tuner_test.dir/sa_tuner_test.cpp.o"
+  "CMakeFiles/sa_tuner_test.dir/sa_tuner_test.cpp.o.d"
+  "sa_tuner_test"
+  "sa_tuner_test.pdb"
+  "sa_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
