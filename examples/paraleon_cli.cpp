@@ -1,8 +1,8 @@
 // Command-line experiment driver: run any tuning scheme on any of the
 // built-in workloads and fabric shapes without writing code.
 //
-//   ./examples/paraleon_cli --scheme paraleon --workload fb_hadoop \
-//       --load 0.3 --duration-ms 250 --csv /tmp/run
+//   ./examples/paraleon_cli --scheme paraleon --workload fb_hadoop
+//       --load 0.3 --duration-ms 250 --csv /tmp/run   (one command line)
 //
 // Prints an FCT/throughput summary; with --csv PREFIX also writes
 // PREFIX_throughput.csv, PREFIX_rtt.csv and PREFIX_flows.csv for plotting.

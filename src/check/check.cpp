@@ -1,0 +1,43 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace paraleon::check {
+
+namespace {
+
+std::string build_what(const std::string& expression, const std::string& file,
+                       int line, const std::string& message) {
+  std::ostringstream os;
+  os << "PARALEON_CHECK failed: " << expression << " at " << file << ":"
+     << line;
+  if (!message.empty()) os << " — " << message;
+  return os.str();
+}
+
+}  // namespace
+
+CheckFailure::CheckFailure(std::string expression, std::string file, int line,
+                           std::string message)
+    : std::runtime_error(build_what(expression, file, line, message)),
+      expression_(std::move(expression)),
+      file_(std::move(file)),
+      line_(line),
+      message_(std::move(message)) {}
+
+namespace detail {
+
+void fail(const char* expression, const char* file, int line,
+          std::string message) {
+  CheckFailure failure(expression, file, line, std::move(message));
+  // Print before throwing: if the exception escapes main (or crosses a
+  // noexcept boundary and terminates), the diagnostic still reaches the
+  // log.
+  std::fprintf(stderr, "%s\n", failure.what());
+  std::fflush(stderr);
+  throw failure;
+}
+
+}  // namespace detail
+}  // namespace paraleon::check

@@ -1,0 +1,40 @@
+#include "check/digest.hpp"
+
+#include <cstring>
+
+namespace paraleon::check {
+
+RunDigest& RunDigest::add_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_ ^= p[i];
+    state_ *= kPrime;
+  }
+  return *this;
+}
+
+RunDigest& RunDigest::add(std::string_view label) {
+  add_bytes(label.data(), label.size());
+  // Terminate so ("ab","c") and ("a","bc") digest differently.
+  const unsigned char nul = 0;
+  return add_bytes(&nul, 1);
+}
+
+RunDigest& RunDigest::add_u64(std::uint64_t v) {
+  unsigned char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  return add_bytes(bytes, sizeof(bytes));
+}
+
+RunDigest& RunDigest::add_i64(std::int64_t v) {
+  return add_u64(static_cast<std::uint64_t>(v));
+}
+
+RunDigest& RunDigest::add_double(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return add_u64(bits);
+}
+
+}  // namespace paraleon::check

@@ -1,0 +1,33 @@
+// Order-sensitive run digest for determinism regression tests.
+//
+// FNV-1a over a typed value stream: two runs that feed the same labels and
+// values in the same order produce the same 64-bit digest; any divergence
+// (an extra event, a reordered sample, a differing counter) changes it.
+// Doubles are hashed by bit pattern, so the comparison is byte-for-byte,
+// not epsilon-based — exactly what "a run is a pure function of its seed"
+// promises.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace paraleon::check {
+
+class RunDigest {
+ public:
+  RunDigest& add_bytes(const void* data, std::size_t n);
+  RunDigest& add(std::string_view label);
+  RunDigest& add_u64(std::uint64_t v);
+  RunDigest& add_i64(std::int64_t v);
+  /// Bit-pattern hash; distinguishes -0.0 from 0.0 and every NaN payload.
+  RunDigest& add_double(double v);
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 0xCBF29CE484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001B3ull;
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+}  // namespace paraleon::check

@@ -1,0 +1,206 @@
+#include "check/invariant_checker.hpp"
+
+#include <cstdlib>
+
+#include "check/check.hpp"
+#include "sim/host_node.hpp"
+#include "sim/net_device.hpp"
+#include "sim/simulator.hpp"
+#include "sim/switch_node.hpp"
+#include "sim/topology.hpp"
+#include "sketch/elastic_sketch.hpp"
+
+namespace paraleon::check {
+
+/// Forwards every offered packet to the wrapped sketch while keeping exact
+/// per-QP byte counters — the drift reference. Mirrors the sketch's keying
+/// (qp_key, falling back to flow_id) and clears on control-plane reset().
+struct InvariantChecker::ShadowSketch final : sim::SketchHook {
+  explicit ShadowSketch(sketch::ElasticSketch* inner_sketch)
+      : inner(inner_sketch) {
+    inner->set_reset_hook([this] { exact.clear(); });
+  }
+
+  bool on_data_packet(const sim::Packet& pkt) override {
+    exact[pkt.qp_key != 0 ? pkt.qp_key : pkt.flow_id] += pkt.size_bytes;
+    return inner->on_data_packet(pkt);
+  }
+
+  sketch::ElasticSketch* inner;
+  std::unordered_map<std::uint64_t, std::int64_t> exact;
+};
+
+InvariantChecker::InvariantChecker(sim::Simulator* sim, InvariantConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  if (cfg_.level != CheckLevel::kOff) {
+    sim_->set_post_event_hook([this](Time now) { on_event(now); });
+    hook_installed_ = true;
+    last_event_time_ = sim_->now();
+  }
+}
+
+InvariantChecker::~InvariantChecker() {
+  if (hook_installed_) sim_->set_post_event_hook(nullptr);
+  for (auto& shadow : shadows_) shadow->inner->set_reset_hook(nullptr);
+}
+
+void InvariantChecker::watch(sim::ClosTopology& topo) {
+  for (int t = 0; t < topo.tor_count(); ++t) watch_switch(&topo.tor(t));
+  for (int l = 0; l < topo.leaf_count(); ++l) watch_switch(&topo.leaf(l));
+  for (int h = 0; h < topo.host_count(); ++h) watch_host(&topo.host(h));
+}
+
+void InvariantChecker::watch_switch(sim::SwitchNode* sw) {
+  WatchedSwitch w;
+  w.sw = sw;
+  const auto n = static_cast<std::size_t>(sw->port_count());
+  w.device_pause.resize(n);
+  w.latched_pause.resize(n);
+  w.last_paused_time.resize(n, 0);
+  switches_.push_back(std::move(w));
+}
+
+void InvariantChecker::watch_host(sim::HostNode* host) {
+  hosts_.push_back(WatchedHost{host, PauseWatch{}, 0});
+}
+
+sim::SketchHook* InvariantChecker::wrap_sketch(
+    sketch::ElasticSketch* sketch) {
+  shadows_.push_back(std::make_unique<ShadowSketch>(sketch));
+  return shadows_.back().get();
+}
+
+void InvariantChecker::on_event(Time now) {
+  ++events_seen_;
+  PARALEON_CHECK(now >= last_event_time_,
+                 "event clock ran backwards: ", now, " after ",
+                 last_event_time_);
+  last_event_time_ = now;
+
+  if (cfg_.level == CheckLevel::kFull ||
+      events_seen_ % cfg_.scan_every_events == 0) {
+    scan(now);
+  }
+  if (!shadows_.empty() &&
+      events_seen_ % cfg_.sketch_scan_every_events == 0) {
+    check_sketches();
+  }
+}
+
+void InvariantChecker::verify_now() {
+  scan(sim_->now());
+  check_sketches();
+}
+
+void InvariantChecker::scan(Time now) {
+  ++scans_run_;
+  for (auto& w : switches_) check_switch(w, now);
+  for (auto& w : hosts_) check_host(w, now);
+}
+
+void InvariantChecker::check_pause(PauseWatch& watch, bool paused_now,
+                                   Time now, const char* what,
+                                   std::uint32_t node, int port) {
+  if (!paused_now) {
+    watch.paused = false;
+    return;
+  }
+  if (!watch.paused) {
+    watch.paused = true;
+    watch.since = now;
+    return;
+  }
+  PARALEON_CHECK(now - watch.since <= cfg_.pfc_deadlock_bound,
+                 "PFC deadlock: ", what, " at node ", node, " port ", port,
+                 " paused continuously for ", now - watch.since,
+                 " ns (bound ", cfg_.pfc_deadlock_bound,
+                 " ns) — pause without matching resume");
+}
+
+void InvariantChecker::check_switch(WatchedSwitch& w, Time now) {
+  const sim::SwitchNode& sw = *w.sw;
+  const std::int64_t used = sw.buffer_used();
+  PARALEON_CHECK(used >= 0, "switch ", sw.id(),
+                 ": negative shared-buffer occupancy ", used);
+  PARALEON_CHECK(used <= sw.config().buffer_bytes, "switch ", sw.id(),
+                 ": occupancy ", used, " exceeds buffer ",
+                 sw.config().buffer_bytes);
+
+  std::int64_t ingress_sum = 0;
+  for (int p = 0; p < sw.port_count(); ++p) {
+    const std::int64_t ib = sw.ingress_bytes(p);
+    PARALEON_CHECK(ib >= 0, "switch ", sw.id(), ": ingress footprint of port ",
+                   p, " is negative (", ib, ")");
+    ingress_sum += ib;
+  }
+  PARALEON_CHECK(ingress_sum == used, "switch ", sw.id(),
+                 ": MMU bytes not conserved — occupancy ", used,
+                 " but per-ingress footprints sum to ", ingress_sum);
+
+  for (int p = 0; p < sw.port_count(); ++p) {
+    const sim::NetDevice& dev = sw.port(p);
+    PARALEON_CHECK(dev.data_queue_bytes() >= 0, "switch ", sw.id(),
+                   ": egress data queue of port ", p, " is negative (",
+                   dev.data_queue_bytes(), ")");
+    const auto idx = static_cast<std::size_t>(p);
+    check_pause(w.device_pause[idx], dev.data_paused(), now, "egress device",
+                sw.id(), p);
+    check_pause(w.latched_pause[idx], sw.pfc_pause_latched(p), now,
+                "latched XOFF", sw.id(), p);
+    if (cfg_.level == CheckLevel::kFull) {
+      const Time paused = dev.paused_time();
+      PARALEON_CHECK(paused >= w.last_paused_time[idx], "switch ", sw.id(),
+                     ": paused time of port ", p, " went backwards (",
+                     paused, " < ", w.last_paused_time[idx], ")");
+      w.last_paused_time[idx] = paused;
+    }
+  }
+}
+
+void InvariantChecker::check_host(WatchedHost& w, Time now) {
+  const sim::HostNode& host = *w.host;
+  const sim::NetDevice& uplink = host.uplink();
+  check_pause(w.uplink_pause, uplink.data_paused(), now, "host uplink",
+              host.id(), 0);
+  if (cfg_.level != CheckLevel::kFull) return;
+
+  const Time paused = uplink.paused_time();
+  PARALEON_CHECK(paused >= w.last_paused_time, "host ", host.id(),
+                 ": uplink paused time went backwards (", paused, " < ",
+                 w.last_paused_time, ")");
+  w.last_paused_time = paused;
+
+  // DCQCN RP bound: every active QP's paced rate within
+  // [min_rate, link_rate]. clamp_rates() enforces it on every RP event, so
+  // a violation means the rate machine (or a parameter install) broke.
+  const Rate lo =
+      host.dcqcn_params().min_rate * (1.0 - cfg_.rate_bound_tolerance);
+  const Rate hi = uplink.rate() * (1.0 + cfg_.rate_bound_tolerance);
+  host.for_each_qp_rate([&](std::uint64_t flow_id, Rate rate) {
+    PARALEON_CHECK(rate >= lo && rate <= hi, "host ", host.id(), ": QP ",
+                   flow_id, " rate ", rate, " bps outside [", lo, ", ", hi,
+                   "]");
+  });
+}
+
+void InvariantChecker::check_sketches() {
+  for (const auto& shadow : shadows_) {
+    for (const auto& rec : shadow->inner->heavy_flows()) {
+      const auto it = shadow->exact.find(rec.flow_id);
+      // A heavy-resident key the shadow never saw can only be a stale
+      // bucket from before the checker attached; skip it.
+      if (it == shadow->exact.end()) continue;
+      const std::int64_t exact = it->second;
+      const std::int64_t drift = std::llabs(rec.bytes - exact);
+      const auto bound =
+          cfg_.sketch_drift_slack_bytes +
+          static_cast<std::int64_t>(cfg_.sketch_drift_frac *
+                                    static_cast<double>(exact));
+      PARALEON_CHECK(drift <= bound, "sketch drift: QP ", rec.flow_id,
+                     " estimated ", rec.bytes, " B vs exact ", exact,
+                     " B (drift ", drift, " > bound ", bound, ")");
+    }
+  }
+}
+
+}  // namespace paraleon::check

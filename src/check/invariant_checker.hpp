@@ -1,0 +1,139 @@
+// Runtime invariant checker for the simulator.
+//
+// Rides the Simulator's post-event hook and verifies, while a run is in
+// flight, the conservation properties PARALEON's results depend on:
+//
+//   * event-clock monotonicity (the event loop never travels back in time);
+//   * switch MMU byte conservation: shared-buffer occupancy equals the sum
+//     of per-ingress footprints, never negative, never above the buffer;
+//   * PFC pause/resume pairing per (port, data priority): a pause latched
+//     at a switch or held at a device must be resumed within a configurable
+//     bound, else it is reported as a PFC deadlock;
+//   * DCQCN RP rate bounds: every active QP's paced rate stays within
+//     [min_rate, link_rate];
+//   * monotone non-decreasing per-device paused time;
+//   * sketch-vs-exact accounting: an Elastic Sketch wrapped through
+//     wrap_sketch() is shadowed by exact per-QP byte counters (cleared in
+//     lockstep with control-plane resets) and its heavy-part estimates must
+//     stay within a drift bound of the exact counts.
+//
+// A violation throws paraleon::check::CheckFailure out of Simulator::run,
+// naming the device and the numbers involved. CheckLevel::kOff installs no
+// hook at all, so benches pay nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/sketch_hook.hpp"
+
+namespace paraleon::sim {
+class ClosTopology;
+class HostNode;
+class NetDevice;
+class Simulator;
+class SwitchNode;
+}  // namespace paraleon::sim
+
+namespace paraleon::sketch {
+class ElasticSketch;
+}  // namespace paraleon::sketch
+
+namespace paraleon::check {
+
+enum class CheckLevel {
+  kOff,    // no hook installed — zero overhead
+  kBasic,  // clock monotonicity every event, structural scan at a cadence
+  kFull,   // every invariant at every event (sketch drift at a cadence)
+};
+
+struct InvariantConfig {
+  CheckLevel level = CheckLevel::kBasic;
+  /// A pause held (or latched) continuously longer than this is a PFC
+  /// deadlock. Generous default: congestion legitimately refreshes pauses.
+  Time pfc_deadlock_bound = milliseconds(100);
+  /// Structural scan cadence at kBasic, in events (kFull scans every
+  /// event).
+  std::uint64_t scan_every_events = 64;
+  /// Sketch drift cadence in events (heavy_flows() allocates, so even
+  /// kFull rate-limits this check).
+  std::uint64_t sketch_scan_every_events = 4096;
+  /// Drift bound: |estimate - exact| <= slack + frac * exact for QPs
+  /// resident in the sketch's heavy part.
+  double sketch_drift_frac = 0.01;
+  std::int64_t sketch_drift_slack_bytes = 256 * 1024;
+  /// Relative tolerance on the RP rate bounds (floating-point pacing).
+  double rate_bound_tolerance = 1e-9;
+};
+
+class InvariantChecker {
+ public:
+  /// Installs the post-event hook on `sim` unless level == kOff. At most
+  /// one checker may be attached to a simulator at a time.
+  InvariantChecker(sim::Simulator* sim, InvariantConfig cfg);
+  ~InvariantChecker();
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Watches every switch and host of a CLOS fabric.
+  void watch(sim::ClosTopology& topo);
+  void watch_switch(sim::SwitchNode* sw);
+  void watch_host(sim::HostNode* host);
+
+  /// Shadows `sketch` with exact per-QP byte counters. Returns the hook to
+  /// attach to the switch in the sketch's place; the shadow forwards every
+  /// packet and clears itself on control-plane reset(). The returned hook
+  /// lives as long as this checker. `sketch` must outlive the checker: the
+  /// destructor detaches the reset hook it installed.
+  sim::SketchHook* wrap_sketch(sketch::ElasticSketch* sketch);
+
+  /// Runs every structural check immediately, regardless of level or
+  /// cadence. Usable even at kOff (e.g. a final end-of-run audit).
+  void verify_now();
+
+  std::uint64_t events_seen() const { return events_seen_; }
+  std::uint64_t scans_run() const { return scans_run_; }
+  const InvariantConfig& config() const { return cfg_; }
+
+ private:
+  struct PauseWatch {
+    bool paused = false;
+    Time since = 0;
+  };
+  struct WatchedSwitch {
+    sim::SwitchNode* sw;
+    std::vector<PauseWatch> device_pause;   // egress data class paused
+    std::vector<PauseWatch> latched_pause;  // XOFF latched towards upstream
+    std::vector<Time> last_paused_time;     // per-port monotonicity
+  };
+  struct WatchedHost {
+    sim::HostNode* host;
+    PauseWatch uplink_pause;
+    Time last_paused_time = 0;
+  };
+  struct ShadowSketch;
+
+  void on_event(Time now);
+  void scan(Time now);
+  void check_switch(WatchedSwitch& w, Time now);
+  void check_host(WatchedHost& w, Time now);
+  void check_pause(PauseWatch& watch, bool paused_now, Time now,
+                   const char* what, std::uint32_t node, int port);
+  void check_sketches();
+
+  sim::Simulator* sim_;
+  InvariantConfig cfg_;
+  bool hook_installed_ = false;
+  Time last_event_time_ = 0;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t scans_run_ = 0;
+  std::vector<WatchedSwitch> switches_;
+  std::vector<WatchedHost> hosts_;
+  std::vector<std::unique_ptr<ShadowSketch>> shadows_;
+};
+
+}  // namespace paraleon::check

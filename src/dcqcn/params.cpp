@@ -26,8 +26,10 @@ DcqcnParams scaled_for_line_rate(const DcqcnParams& p, Rate reference,
   s.ai_rate = p.ai_rate * f;
   s.hai_rate = p.hai_rate * f;
   s.min_rate = p.min_rate * f;
-  s.kmin_bytes = static_cast<std::int64_t>(p.kmin_bytes * f);
-  s.kmax_bytes = static_cast<std::int64_t>(p.kmax_bytes * f);
+  s.kmin_bytes =
+      static_cast<std::int64_t>(static_cast<double>(p.kmin_bytes) * f);
+  s.kmax_bytes =
+      static_cast<std::int64_t>(static_cast<double>(p.kmax_bytes) * f);
   return s;
 }
 

@@ -1,8 +1,10 @@
 #include "runner/experiment.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <string_view>
+
+#include "check/digest.hpp"
 
 namespace paraleon::runner {
 
@@ -16,6 +18,12 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   }
   cfg_.clos.seed = cfg_.seed;
   topo_ = std::make_unique<sim::ClosTopology>(&sim_, cfg_.clos);
+
+  if (cfg_.invariants.level != check::CheckLevel::kOff) {
+    checker_ =
+        std::make_unique<check::InvariantChecker>(&sim_, cfg_.invariants);
+    checker_->watch(*topo_);
+  }
 
   fct_ = std::make_unique<stats::FctTracker>(
       [this](std::int64_t size, std::uint32_t src, std::uint32_t dst) {
@@ -53,7 +61,9 @@ void Experiment::wire_scheme() {
           &sim_, topo_.get(), ctrl));
       auto es = std::make_unique<sketch::ElasticSketch>(cfg_.sketch);
       sketch::ElasticSketch* raw = es.get();
-      topo_->tor(t).attach_sketch(raw);
+      topo_->tor(t).attach_sketch(
+          checker_ ? checker_->wrap_sketch(raw)
+                   : static_cast<sim::SketchHook*>(raw));
       sketches_.push_back(std::move(es));
       agents_.push_back(std::make_unique<core::SwitchAgent>(
           cfg_.agent, [raw] {
@@ -147,7 +157,9 @@ void Experiment::wire_scheme() {
             raw->reset();
             return v;
           };
-          topo_->tor(t).attach_sketch(raw);
+          topo_->tor(t).attach_sketch(
+              checker_ ? checker_->wrap_sketch(raw)
+                       : static_cast<sim::SketchHook*>(raw));
           sketches_.push_back(std::move(es));
         }
         agents_.push_back(
@@ -193,8 +205,10 @@ void Experiment::schedule_probe() {
   if (controllers_.size() != 1) {
     // Record the runtime series the controller would otherwise provide.
     probe_collector_ = std::make_unique<core::MetricCollector>(topo_.get());
-    // `self` recursion via a shared schedule lambda.
-    auto tick = std::make_shared<std::function<void()>>();
+    // `self` recursion via a schedule lambda owned by this Experiment (a
+    // shared_ptr capturing itself would cycle and leak).
+    probe_ticks_.push_back(std::make_unique<std::function<void()>>());
+    auto* tick = probe_ticks_.back().get();
     *tick = [this, mi, tick] {
       const core::NetworkMetrics m = probe_collector_->collect(mi);
       probe_tput_.add(sim_.now(), m.total_tx_gbps);
@@ -212,7 +226,8 @@ void Experiment::schedule_probe() {
     // estimate is its likelihood (TOS dedup means at most one agent saw
     // the flow; without dedup every agent saw all of its bytes, so the
     // max across agents is the scheme's belief either way).
-    auto tick = std::make_shared<std::function<void()>>();
+    probe_ticks_.push_back(std::make_unique<std::function<void()>>());
+    auto* tick = probe_ticks_.back().get();
     *tick = [this, mi, tick] {
       const std::int64_t tau = cfg_.agent.ternary.tau_bytes;
       double sum = 0.0;
@@ -323,6 +338,62 @@ std::vector<int> Experiment::all_hosts() const {
   std::vector<int> out(static_cast<std::size_t>(topo_->host_count()));
   for (int i = 0; i < topo_->host_count(); ++i) out[static_cast<std::size_t>(i)] = i;
   return out;
+}
+
+std::uint64_t run_digest(Experiment& exp) {
+  check::RunDigest d;
+  d.add("sim")
+      .add_u64(exp.simulator().events_executed())
+      .add_i64(exp.simulator().now());
+
+  auto& topo = exp.topology();
+  for (int h = 0; h < topo.host_count(); ++h) {
+    auto& host = topo.host(h);
+    const auto& up = host.uplink();
+    d.add("host").add_i64(h);
+    d.add_i64(up.tx_data_bytes()).add_i64(up.tx_ctrl_bytes());
+    d.add_u64(up.tx_data_packets()).add_u64(up.pause_events());
+    d.add_i64(up.paused_time());
+    d.add_u64(host.cnps_sent()).add_u64(host.cnps_received());
+  }
+
+  auto add_switch = [&d](std::string_view kind, int i, sim::SwitchNode& sw) {
+    d.add(kind).add_i64(i);
+    d.add_i64(sw.buffer_used());
+    d.add_u64(sw.drops()).add_u64(sw.ecn_marks()).add_u64(sw.pfc_pauses_sent());
+    d.add_i64(sw.total_paused_time());
+    for (int p = 0; p < sw.port_count(); ++p) {
+      const auto& dev = sw.port(p);
+      d.add_i64(dev.tx_data_bytes()).add_u64(dev.tx_data_packets());
+      d.add_u64(dev.pause_events()).add_i64(dev.paused_time());
+    }
+  };
+  for (int t = 0; t < topo.tor_count(); ++t) add_switch("tor", t, topo.tor(t));
+  for (int l = 0; l < topo.leaf_count(); ++l) {
+    add_switch("leaf", l, topo.leaf(l));
+  }
+
+  // The flow table lives in an unordered_map; sort by id so the digest
+  // depends on what ran, not on hash-table iteration order.
+  auto records = exp.fct().completed();
+  std::sort(records.begin(), records.end(),
+            [](const stats::FlowRecord& a, const stats::FlowRecord& b) {
+              return a.flow_id < b.flow_id;
+            });
+  d.add("fct").add_u64(exp.fct().started()).add_u64(exp.fct().finished());
+  for (const auto& r : records) {
+    d.add_u64(r.flow_id).add_u64(r.src).add_u64(r.dst);
+    d.add_i64(r.size_bytes).add_i64(r.start).add_i64(r.finish);
+  }
+
+  auto add_series = [&d](std::string_view label, const stats::TimeSeries& s) {
+    d.add(label);
+    for (const auto& p : s.points()) d.add_i64(p.t).add_double(p.value);
+  };
+  add_series("tput", exp.throughput_series());
+  add_series("rtt", exp.rtt_series());
+  add_series("fsd", exp.fsd_accuracy_series());
+  return d.value();
 }
 
 }  // namespace paraleon::runner

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "baselines/acc.hpp"
+#include "check/invariant_checker.hpp"
 #include "core/controller.hpp"
 #include "core/monitor.hpp"
 #include "runner/scheme.hpp"
@@ -43,6 +45,11 @@ struct ExperimentConfig {
   bool track_fsd_accuracy = false;
   Time duration = milliseconds(50);
   std::uint64_t seed = 1;
+  /// Runtime invariant checking (off by default so benches pay nothing).
+  /// At kBasic/kFull the whole fabric is watched and attached Elastic
+  /// Sketches are shadowed with exact counters; a violation throws
+  /// check::CheckFailure out of run().
+  check::InvariantConfig invariants{.level = check::CheckLevel::kOff};
 };
 
 class Experiment {
@@ -60,6 +67,8 @@ class Experiment {
   const ExperimentConfig& config() const { return cfg_; }
   sim::Simulator& simulator() { return sim_; }
   sim::ClosTopology& topology() { return *topo_; }
+  /// Null unless config().invariants.level != kOff.
+  check::InvariantChecker* invariant_checker() { return checker_.get(); }
   stats::FctTracker& fct() { return *fct_; }
   const stats::FctTracker& fct() const { return *fct_; }
   /// Null unless the scheme runs a PARALEON controller. For the per-pod
@@ -118,16 +127,31 @@ class Experiment {
 
   // Scheme machinery (subset populated depending on cfg_.scheme).
   std::vector<std::unique_ptr<sim::SketchHook>> sketches_;
+  // Declared after sim_ and sketches_: the checker's destructor detaches
+  // its simulator hook and the sketch reset hooks, so it must go first.
+  std::unique_ptr<check::InvariantChecker> checker_;
   std::vector<std::unique_ptr<core::SwitchAgent>> agents_;
   std::vector<std::unique_ptr<core::ParaleonController>> controllers_;
   std::vector<std::unique_ptr<baselines::AccAgent>> acc_agents_;
 
-  // Probe for schemes without a controller + accuracy tracking.
+  // Probe for schemes without a controller + accuracy tracking. The tick
+  // closures reschedule themselves by pointer, so they must outlive the
+  // simulator events that copy that pointer — owned here, not by the
+  // closure (self-capture of a shared_ptr would cycle and leak).
+  std::vector<std::unique_ptr<std::function<void()>>> probe_ticks_;
   std::unique_ptr<core::MetricCollector> probe_collector_;
   stats::TimeSeries probe_tput_;
   stats::TimeSeries probe_rtt_;
   mutable stats::TimeSeries merged_rtt_;  // per-pod RTT view, built lazily
   stats::TimeSeries accuracy_series_;
 };
+
+/// Order-stable FNV-1a digest over every observable telemetry surface of a
+/// finished run: simulator event/clock counters, per-host NIC and CNP
+/// counters, per-switch MMU/ECN/PFC counters and port byte counts, the
+/// completed-flow table (sorted by flow id) and the runtime series. Two
+/// same-seed runs must produce the same value byte-for-byte; the
+/// determinism regression test enforces exactly that.
+std::uint64_t run_digest(Experiment& exp);
 
 }  // namespace paraleon::runner

@@ -1,7 +1,8 @@
 #include "sim/host_node.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.hpp"
 
 namespace paraleon::sim {
 
@@ -17,7 +18,7 @@ HostNode::HostNode(Simulator* sim, NodeId id, dcqcn::DcqcnParams rnic_params)
 
 void HostNode::attach_uplink(Node* tor, int tor_port, Rate rate,
                              Time prop_delay) {
-  assert(!uplink_ && "uplink already attached");
+  PARALEON_CHECK(!uplink_, "host ", id(), ": uplink already attached");
   uplink_ = std::make_unique<NetDevice>(sim_, tor, tor_port, rate, prop_delay);
   uplink_->on_dequeue = [this](const NetDevice::Queued& item) {
     on_nic_dequeue(item);
@@ -26,11 +27,12 @@ void HostNode::attach_uplink(Node* tor, int tor_port, Rate rate,
 
 void HostNode::start_flow(std::uint64_t flow_id, NodeId dst,
                           std::int64_t size_bytes, std::uint64_t qp_key) {
-  assert(uplink_ && "host has no uplink");
-  assert(size_bytes > 0);
+  PARALEON_CHECK(uplink_ != nullptr, "host ", id(), ": has no uplink");
+  PARALEON_CHECK(size_bytes > 0, "host ", id(), ": flow ", flow_id,
+                 " has non-positive size ", size_bytes);
   auto [it, inserted] = tx_flows_.try_emplace(
       flow_id, &params_, uplink_->rate(), sim_->now());
-  assert(inserted && "flow_id reused");
+  PARALEON_CHECK(inserted, "host ", id(), ": flow_id ", flow_id, " reused");
   FlowTx& f = it->second;
   f.dst = dst;
   f.qp_key = qp_key == 0 ? flow_id : qp_key;
@@ -220,7 +222,9 @@ void HostNode::handle_cnp(const Packet& pkt) {
         static_cast<double>(std::max<Time>(1, dcqcnp_base_interval_));
     params_.rpg_time_reset = std::min<Time>(
         milliseconds(10),
-        static_cast<Time>(dcqcnp_base_params_.rpg_time_reset * factor));
+        static_cast<Time>(
+            static_cast<double>(dcqcnp_base_params_.rpg_time_reset) *
+            factor));
     params_.ai_rate = std::max(mbps(1), dcqcnp_base_params_.ai_rate / factor);
   }
   auto it = tx_flows_.find(pkt.flow_id);
@@ -249,7 +253,8 @@ void HostNode::set_dcqcn_params(const dcqcn::DcqcnParams& p) {
 
 std::unordered_map<std::uint64_t, std::int64_t>
 HostNode::drain_tx_bytes_per_flow(int channel) {
-  assert(channel >= 0 && channel < kTxCounterChannels);
+  PARALEON_CHECK(channel >= 0 && channel < kTxCounterChannels,
+                 "host ", id(), ": bad tx counter channel ", channel);
   auto out = std::move(mi_tx_bytes_[channel]);
   mi_tx_bytes_[channel].clear();
   return out;

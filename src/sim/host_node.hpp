@@ -83,6 +83,13 @@ class HostNode : public Node {
   /// Test/diagnostic access to a sender QP's current DCQCN rate.
   double qp_rate(std::uint64_t flow_id) const;
 
+  /// Invokes `fn(flow_id, current_rate)` for every active sender QP — the
+  /// invariant checker's window onto the RP rate machines.
+  template <class Fn>
+  void for_each_qp_rate(Fn&& fn) const {
+    for (const auto& [flow_id, f] : tx_flows_) fn(flow_id, f.rp.current_rate());
+  }
+
  private:
   struct FlowTx {
     NodeId dst = 0;

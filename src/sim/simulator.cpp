@@ -1,11 +1,12 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace paraleon::sim {
 
 void Simulator::schedule_at(Time t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
+  PARALEON_CHECK(t >= now_, "cannot schedule into the past: t=", t,
+                 " now=", now_);
   queue_.push(Event{t, next_seq_++, std::move(cb)});
 }
 
@@ -17,6 +18,7 @@ void Simulator::run_until(Time t) {
     now_ = ev.t;
     ++executed_;
     ev.cb();
+    if (post_event_) post_event_(now_);
   }
   if (t != kTimeNever && now_ < t) now_ = t;
 }

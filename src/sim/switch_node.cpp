@@ -1,7 +1,8 @@
 #include "sim/switch_node.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.hpp"
 
 namespace paraleon::sim {
 namespace {
@@ -38,13 +39,15 @@ int SwitchNode::add_port(Node* peer, int peer_port, Rate rate,
 }
 
 void SwitchNode::set_route(NodeId dst, std::vector<int> ports) {
-  assert(!ports.empty());
+  PARALEON_CHECK(!ports.empty(), "switch ", id(), ": empty ECMP set for dst ",
+                 dst);
   routes_[dst] = std::move(ports);
 }
 
 int SwitchNode::route_port(NodeId dst, std::uint64_t flow_id) const {
   const auto it = routes_.find(dst);
-  assert(it != routes_.end() && "no route to destination");
+  PARALEON_CHECK(it != routes_.end(), "switch ", id(),
+                 ": no route to destination ", dst, " (flow ", flow_id, ")");
   const auto& candidates = it->second;
   if (candidates.size() == 1) return candidates[0];
   const std::uint64_t h = mix(flow_id ^ ecmp_salt_);
@@ -98,7 +101,10 @@ void SwitchNode::account_dequeue(const NetDevice::Queued& item) {
   if (item.pkt.is_control() || item.in_port < 0) return;
   used_ -= item.pkt.size_bytes;
   ingress_bytes_[item.in_port] -= item.pkt.size_bytes;
-  assert(used_ >= 0 && ingress_bytes_[item.in_port] >= 0);
+  PARALEON_CHECK(used_ >= 0 && ingress_bytes_[item.in_port] >= 0,
+                 "switch ", id(), ": MMU accounting went negative (used=",
+                 used_, ", ingress[", item.in_port,
+                 "]=", ingress_bytes_[item.in_port], ")");
   if (cfg_.pfc_enabled) check_pfc_xon(item.in_port);
 }
 

@@ -68,11 +68,20 @@ class SwitchNode : public Node {
   std::uint64_t drops() const { return drops_; }
   std::uint64_t ecn_marks() const { return ecn_marks_; }
   std::uint64_t pfc_pauses_sent() const { return pfc_sent_count_; }
+  /// Whether a PFC pause towards the upstream on `port` is latched (an XOFF
+  /// was sent and no resume yet) — the invariant checker's pairing input.
+  bool pfc_pause_latched(int port) const { return pause_sent_[port]; }
   /// Sum of paused time over all egress ports (monitor O_PFC input).
   Time total_paused_time() const;
   const SwitchConfig& config() const { return cfg_; }
   /// RNG-free deterministic forwarding: returns the ECMP port for a flow.
   int route_port(NodeId dst, std::uint64_t flow_id) const;
+
+  /// Test-only fault injection: skews the shared-buffer occupancy counter
+  /// without touching any per-ingress counter, breaking the MMU
+  /// conservation invariant. Exists so the invariant-checker tests can
+  /// prove a corrupted accounting path is actually detected.
+  void inject_buffer_accounting_fault(std::int64_t delta) { used_ += delta; }
 
  private:
   void admit_data(Packet pkt, int in_port);

@@ -1,6 +1,6 @@
 #include "sim/topology.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace paraleon::sim {
 
@@ -11,7 +11,10 @@ constexpr NodeId kLeafIdBase = 200000;
 
 ClosTopology::ClosTopology(Simulator* sim, const ClosConfig& cfg)
     : sim_(sim), cfg_(cfg) {
-  assert(cfg.n_tor > 0 && cfg.n_leaf > 0 && cfg.hosts_per_tor > 0);
+  PARALEON_CHECK(cfg.n_tor > 0 && cfg.n_leaf > 0 && cfg.hosts_per_tor > 0,
+                 "degenerate CLOS config: n_tor=", cfg.n_tor,
+                 " n_leaf=", cfg.n_leaf,
+                 " hosts_per_tor=", cfg.hosts_per_tor);
   const int n_hosts = cfg.n_tor * cfg.hosts_per_tor;
 
   for (int i = 0; i < n_hosts; ++i) {
@@ -39,7 +42,8 @@ ClosTopology::ClosTopology(Simulator* sim, const ClosConfig& cfg)
     const int t = tor_of_host(h);
     const int tor_port = tors_[t]->add_port(hosts_[h].get(), /*peer_port=*/0,
                                             cfg.host_link, cfg.prop_delay);
-    assert(tor_port == h % cfg.hosts_per_tor);
+    PARALEON_CHECK(tor_port == h % cfg.hosts_per_tor,
+                   "host-facing ToR port layout broken at host ", h);
     hosts_[h]->attach_uplink(tors_[t].get(), tor_port, cfg.host_link,
                              cfg.prop_delay);
   }
@@ -54,12 +58,14 @@ ClosTopology::ClosTopology(Simulator* sim, const ClosConfig& cfg)
       const int leaf_port = t;
       const int got_tor_port = tors_[t]->add_port(
           leaves_[l].get(), leaf_port, cfg.fabric_link, cfg.prop_delay);
-      assert(got_tor_port == tor_port);
-      (void)got_tor_port;
+      PARALEON_CHECK(got_tor_port == tor_port,
+                     "ToR uplink port layout broken at (tor=", t,
+                     ", leaf=", l, ")");
       const int got_leaf_port = leaves_[l]->add_port(
           tors_[t].get(), tor_port, cfg.fabric_link, cfg.prop_delay);
-      assert(got_leaf_port == leaf_port);
-      (void)got_leaf_port;
+      PARALEON_CHECK(got_leaf_port == leaf_port,
+                     "leaf port layout broken at (tor=", t, ", leaf=", l,
+                     ")");
     }
   }
   // The loop above interleaves add_port calls per (t, l); re-derive the

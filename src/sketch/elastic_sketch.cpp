@@ -1,6 +1,6 @@
 #include "sketch/elastic_sketch.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace paraleon::sketch {
 namespace {
@@ -18,7 +18,9 @@ std::uint64_t mix(std::uint64_t x) {
 
 ElasticSketch::ElasticSketch(const ElasticSketchConfig& cfg)
     : cfg_(cfg), heavy_(cfg.heavy_buckets), light_(cfg.light_counters, 0) {
-  assert(cfg.heavy_buckets > 0 && cfg.light_counters > 0);
+  PARALEON_CHECK(cfg.heavy_buckets > 0 && cfg.light_counters > 0,
+                 "degenerate sketch geometry: heavy=", cfg.heavy_buckets,
+                 " light=", cfg.light_counters);
 }
 
 std::size_t ElasticSketch::heavy_index(std::uint64_t key) const {
@@ -88,6 +90,7 @@ std::vector<HeavyRecord> ElasticSketch::heavy_flows() const {
 void ElasticSketch::reset() {
   for (Bucket& b : heavy_) b = Bucket{};
   for (auto& c : light_) c = 0;
+  if (reset_hook_) reset_hook_();
 }
 
 std::size_t ElasticSketch::memory_bytes() const {

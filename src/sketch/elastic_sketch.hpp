@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/sketch_hook.hpp"
@@ -58,6 +59,13 @@ class ElasticSketch final : public sim::SketchHook {
   /// Control-plane "read and reset registers".
   void reset();
 
+  /// Invoked at the end of every reset(), so an exact-accounting shadow
+  /// (the invariant checker's drift reference) clears in lockstep with the
+  /// control plane's read-and-reset cycle.
+  void set_reset_hook(std::function<void()> hook) {
+    reset_hook_ = std::move(hook);
+  }
+
   /// SRAM footprint of the data structure.
   std::size_t memory_bytes() const;
 
@@ -84,6 +92,7 @@ class ElasticSketch final : public sim::SketchHook {
   std::vector<std::int64_t> light_;
   std::uint64_t insertions_ = 0;
   std::uint64_t evictions_ = 0;
+  std::function<void()> reset_hook_;
 };
 
 }  // namespace paraleon::sketch

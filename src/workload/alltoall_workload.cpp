@@ -1,12 +1,14 @@
 #include "workload/alltoall_workload.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace paraleon::workload {
 
 AlltoallWorkload::AlltoallWorkload(const AlltoallConfig& cfg) : cfg_(cfg) {
-  assert(cfg_.workers.size() >= 2);
-  assert(cfg_.flow_size > 0);
+  PARALEON_CHECK(cfg_.workers.size() >= 2,
+                 "all-to-all needs >= 2 workers, got ", cfg_.workers.size());
+  PARALEON_CHECK(cfg_.flow_size > 0, "all-to-all flow size must be > 0, got ",
+                 cfg_.flow_size);
 }
 
 void AlltoallWorkload::install(sim::Simulator& sim, StartFlowFn start) {

@@ -1,14 +1,18 @@
 #include "workload/poisson_workload.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace paraleon::workload {
 
 PoissonWorkload::PoissonWorkload(const PoissonConfig& cfg)
     : cfg_(cfg), rng_(cfg.seed) {
-  assert(cfg_.hosts.size() >= 2);
-  assert(cfg_.sizes != nullptr);
-  assert(cfg_.load > 0.0 && cfg_.load <= 1.0);
+  PARALEON_CHECK(cfg_.hosts.size() >= 2,
+                 "Poisson workload needs >= 2 hosts, got ",
+                 cfg_.hosts.size());
+  PARALEON_CHECK(cfg_.sizes != nullptr,
+                 "Poisson workload has no size distribution");
+  PARALEON_CHECK(cfg_.load > 0.0 && cfg_.load <= 1.0,
+                 "Poisson load must be in (0, 1], got ", cfg_.load);
 }
 
 Time PoissonWorkload::mean_interarrival() const {

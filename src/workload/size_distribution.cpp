@@ -1,19 +1,24 @@
 #include "workload/size_distribution.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "check/check.hpp"
 
 namespace paraleon::workload {
 
 SizeDistribution::SizeDistribution(
     std::vector<std::pair<double, double>> points)
     : points_(std::move(points)) {
-  assert(points_.size() >= 2);
-  assert(points_.back().second >= 0.999999);
+  PARALEON_CHECK(points_.size() >= 2,
+                 "size CDF needs >= 2 points, got ", points_.size());
+  PARALEON_CHECK(points_.back().second >= 0.999999,
+                 "size CDF must reach 1.0, ends at ", points_.back().second);
   for (std::size_t i = 1; i < points_.size(); ++i) {
-    assert(points_[i].first > points_[i - 1].first);
-    assert(points_[i].second >= points_[i - 1].second);
+    PARALEON_CHECK(points_[i].first > points_[i - 1].first,
+                   "size CDF x-values not strictly increasing at index ", i);
+    PARALEON_CHECK(points_[i].second >= points_[i - 1].second,
+                   "size CDF probabilities decrease at index ", i);
     // Mean of a piecewise-linear CDF: each segment contributes its
     // probability mass times the segment midpoint.
     const double mass = points_[i].second - points_[i - 1].second;

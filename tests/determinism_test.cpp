@@ -1,0 +1,83 @@
+// Determinism regression: a run is a pure function of its seed. Two
+// same-seed experiments must produce byte-for-byte identical telemetry
+// (hashed by runner::run_digest), and the invariant checker must observe
+// without perturbing.
+#include <gtest/gtest.h>
+
+#include "check/invariant_checker.hpp"
+#include "runner/experiment.hpp"
+
+namespace paraleon {
+namespace {
+
+using runner::Experiment;
+using runner::ExperimentConfig;
+using runner::Scheme;
+
+ExperimentConfig base_config(Scheme scheme, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.clos.n_tor = 2;
+  cfg.clos.n_leaf = 2;
+  cfg.clos.hosts_per_tor = 4;
+  cfg.clos.host_link = gbps(10);
+  cfg.clos.fabric_link = gbps(10);
+  cfg.clos.prop_delay = microseconds(2);
+  cfg.scheme = scheme;
+  cfg.duration = milliseconds(30);
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::uint64_t digest_of_run(ExperimentConfig cfg, std::uint64_t wl_seed) {
+  Experiment exp(std::move(cfg));
+  workload::PoissonConfig w;
+  w.hosts = exp.all_hosts();
+  w.sizes = &workload::solar_rpc_distribution();
+  w.load = 0.4;
+  w.stop = milliseconds(25);
+  w.seed = wl_seed;
+  exp.add_poisson(w);
+  exp.run();
+  return runner::run_digest(exp);
+}
+
+class DeterminismTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(DeterminismTest, SameSeedSameDigest) {
+  const auto a = digest_of_run(base_config(GetParam(), 42), 7);
+  const auto b = digest_of_run(base_config(GetParam(), 42), 7);
+  EXPECT_EQ(a, b) << "same-seed runs diverged";
+}
+
+TEST_P(DeterminismTest, DifferentSeedDifferentDigest) {
+  const auto a = digest_of_run(base_config(GetParam(), 42), 7);
+  const auto b = digest_of_run(base_config(GetParam(), 43), 7);
+  EXPECT_NE(a, b) << "the seed does not reach the run";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, DeterminismTest,
+    ::testing::Values(Scheme::kDefaultStatic, Scheme::kParaleon),
+    [](const ::testing::TestParamInfo<Scheme>& param_info) {
+      return param_info.param == Scheme::kDefaultStatic ? "DefaultStatic"
+                                                        : "Paraleon";
+    });
+
+TEST(Determinism, InvariantCheckerIsObservationOnly) {
+  // Running with the checker at kFull must not change a single telemetry
+  // byte relative to kOff — the hook observes, never steers.
+  auto plain = base_config(Scheme::kParaleon, 5);
+  auto checked = base_config(Scheme::kParaleon, 5);
+  checked.invariants.level = check::CheckLevel::kFull;
+  EXPECT_EQ(digest_of_run(std::move(plain), 9),
+            digest_of_run(std::move(checked), 9));
+}
+
+TEST(Determinism, DifferentWorkloadSeedDifferentDigest) {
+  const auto a = digest_of_run(base_config(Scheme::kDefaultStatic, 42), 7);
+  const auto b = digest_of_run(base_config(Scheme::kDefaultStatic, 42), 8);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace paraleon

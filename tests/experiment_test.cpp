@@ -58,8 +58,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Scheme::kParaleonNoFsd, Scheme::kParaleonNetflow,
                       Scheme::kParaleonNaiveSketch, Scheme::kAcc,
                       Scheme::kDcqcnPlus),
-    [](const ::testing::TestParamInfo<Scheme>& info) {
-      std::string n = scheme_name(info.param);
+    [](const ::testing::TestParamInfo<Scheme>& param_info) {
+      std::string n = scheme_name(param_info.param);
       for (auto& c : n) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

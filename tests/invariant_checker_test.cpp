@@ -1,0 +1,242 @@
+// InvariantChecker: clean runs stay silent at kFull, injected faults are
+// caught, PFC deadlocks are bounded, and sketch shadows track resets.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "check/check.hpp"
+#include "check/invariant_checker.hpp"
+#include "runner/experiment.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sketch/elastic_sketch.hpp"
+
+namespace paraleon {
+namespace {
+
+using check::CheckFailure;
+using check::CheckLevel;
+using check::InvariantChecker;
+using check::InvariantConfig;
+using runner::Experiment;
+using runner::ExperimentConfig;
+using runner::Scheme;
+
+ExperimentConfig base_config(Scheme scheme, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.clos.n_tor = 2;
+  cfg.clos.n_leaf = 2;
+  cfg.clos.hosts_per_tor = 4;
+  cfg.clos.host_link = gbps(10);
+  cfg.clos.fabric_link = gbps(10);
+  cfg.clos.prop_delay = microseconds(2);
+  cfg.scheme = scheme;
+  cfg.duration = milliseconds(20);
+  cfg.seed = seed;
+  cfg.invariants.level = CheckLevel::kFull;
+  return cfg;
+}
+
+void add_load(Experiment& exp, std::uint64_t seed) {
+  workload::PoissonConfig w;
+  w.hosts = exp.all_hosts();
+  w.sizes = &workload::solar_rpc_distribution();
+  w.load = 0.4;
+  w.stop = milliseconds(15);
+  w.seed = seed;
+  exp.add_poisson(w);
+}
+
+class FullLevelTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(FullLevelTest, SeedExperimentPassesEveryInvariant) {
+  Experiment exp(base_config(GetParam(), 7));
+  add_load(exp, 11);
+  ASSERT_NE(exp.invariant_checker(), nullptr);
+  EXPECT_NO_THROW(exp.run());
+  // The checker actually ran — it saw every event and scanned throughout.
+  EXPECT_EQ(exp.invariant_checker()->events_seen(),
+            exp.simulator().events_executed());
+  EXPECT_GT(exp.invariant_checker()->scans_run(), 0u);
+  // End-of-run audit is also clean.
+  EXPECT_NO_THROW(exp.invariant_checker()->verify_now());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, FullLevelTest,
+    ::testing::Values(Scheme::kDefaultStatic, Scheme::kParaleon,
+                      Scheme::kDcqcnPlus),
+    [](const ::testing::TestParamInfo<Scheme>& param_info) {
+      switch (param_info.param) {
+        case Scheme::kDefaultStatic: return std::string("DefaultStatic");
+        case Scheme::kParaleon: return std::string("Paraleon");
+        case Scheme::kDcqcnPlus: return std::string("DcqcnPlus");
+        default: return std::string("Other");
+      }
+    });
+
+TEST(InvariantChecker, CatchesInjectedBufferAccountingFault) {
+  Experiment exp(base_config(Scheme::kDefaultStatic, 3));
+  add_load(exp, 5);
+  // Mid-run, corrupt the ToR's shared-buffer occupancy without touching
+  // the per-ingress counters: conservation must trip on the next scan.
+  exp.simulator().schedule_at(milliseconds(5), [&exp] {
+    exp.topology().tor(0).inject_buffer_accounting_fault(4096);
+  });
+  try {
+    exp.run();
+    FAIL() << "the corrupted MMU accounting was not detected";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PARALEON_CHECK failed"), std::string::npos) << what;
+  }
+}
+
+TEST(InvariantChecker, FaultInvisibleAtLevelOff) {
+  // Same corruption with checking disabled: the run completes. This pins
+  // the kOff contract — no hook, no cost, no throw.
+  auto cfg = base_config(Scheme::kDefaultStatic, 3);
+  cfg.invariants.level = CheckLevel::kOff;
+  Experiment exp(cfg);
+  add_load(exp, 5);
+  exp.simulator().schedule_at(milliseconds(5), [&exp] {
+    exp.topology().tor(0).inject_buffer_accounting_fault(4096);
+  });
+  ASSERT_EQ(exp.invariant_checker(), nullptr);
+  EXPECT_NO_THROW(exp.run());
+  // Undo so a hypothetical end-of-test audit would balance.
+  exp.topology().tor(0).inject_buffer_accounting_fault(-4096);
+}
+
+TEST(InvariantChecker, NegativeOccupancyFaultIsCaught) {
+  Experiment exp(base_config(Scheme::kDefaultStatic, 9));
+  add_load(exp, 13);
+  exp.simulator().schedule_at(milliseconds(5), [&exp] {
+    // Large negative skew: occupancy goes below zero once queues drain.
+    exp.topology().tor(1).inject_buffer_accounting_fault(-(1ll << 40));
+  });
+  EXPECT_THROW(exp.run(), CheckFailure);
+}
+
+TEST(InvariantChecker, ReportsPfcDeadlock) {
+  sim::Simulator sim;
+  sim::ClosConfig clos;
+  clos.n_tor = 1;
+  clos.n_leaf = 1;
+  clos.hosts_per_tor = 2;
+  clos.host_link = gbps(10);
+  clos.fabric_link = gbps(10);
+  sim::ClosTopology topo(&sim, clos);
+
+  InvariantConfig cfg;
+  cfg.level = CheckLevel::kFull;
+  cfg.pfc_deadlock_bound = milliseconds(1);
+  InvariantChecker checker(&sim, cfg);
+  checker.watch(topo);
+
+  // Hold the host uplink paused far past the bound; periodic ticks give
+  // the checker events to observe the stuck pause.
+  topo.host(0).uplink().pause_data(seconds(2));
+  std::function<void()> tick = [&] { sim.schedule_in(microseconds(100), tick); };
+  sim.schedule_at(0, tick);
+  EXPECT_THROW(sim.run_until(milliseconds(10)), CheckFailure);
+  EXPECT_LT(sim.now(), milliseconds(3));  // caught near the bound, not at the horizon
+}
+
+TEST(InvariantChecker, PauseWithinBoundIsNotADeadlock) {
+  sim::Simulator sim;
+  sim::ClosConfig clos;
+  clos.n_tor = 1;
+  clos.n_leaf = 1;
+  clos.hosts_per_tor = 2;
+  sim::ClosTopology topo(&sim, clos);
+
+  InvariantConfig cfg;
+  cfg.level = CheckLevel::kFull;
+  cfg.pfc_deadlock_bound = milliseconds(1);
+  InvariantChecker checker(&sim, cfg);
+  checker.watch(topo);
+
+  topo.host(0).uplink().pause_data(microseconds(300));  // resumes well in bound
+  std::function<void()> tick = [&] { sim.schedule_in(microseconds(100), tick); };
+  sim.schedule_at(0, tick);
+  EXPECT_NO_THROW(sim.run_until(milliseconds(5)));
+}
+
+sim::Packet data_packet(std::uint64_t qp, std::uint32_t bytes) {
+  sim::Packet pkt;
+  pkt.flow_id = qp;
+  pkt.qp_key = qp;
+  pkt.type = sim::PacketType::kData;
+  pkt.size_bytes = bytes;
+  return pkt;
+}
+
+TEST(InvariantChecker, SketchShadowAcceptsHonestSketch) {
+  sim::Simulator sim;
+  // Declared before the checker: a wrapped sketch must outlive it.
+  sketch::ElasticSketch es{sketch::ElasticSketchConfig{}};
+  InvariantConfig cfg;
+  cfg.level = CheckLevel::kFull;
+  InvariantChecker checker(&sim, cfg);
+
+  sim::SketchHook* hook = checker.wrap_sketch(&es);
+  ASSERT_NE(hook, nullptr);
+  for (int i = 0; i < 200; ++i) {
+    hook->on_data_packet(data_packet(42, 1024));
+    hook->on_data_packet(data_packet(43, 512));
+  }
+  EXPECT_NO_THROW(checker.verify_now());
+
+  // A control-plane reset clears sketch and shadow in lockstep.
+  es.reset();
+  EXPECT_NO_THROW(checker.verify_now());
+  for (int i = 0; i < 50; ++i) hook->on_data_packet(data_packet(42, 1024));
+  EXPECT_NO_THROW(checker.verify_now());
+}
+
+TEST(InvariantChecker, SketchDriftBeyondBoundIsCaught) {
+  sim::Simulator sim;
+  sketch::ElasticSketch es{sketch::ElasticSketchConfig{}};
+  InvariantConfig cfg;
+  cfg.level = CheckLevel::kFull;
+  cfg.sketch_drift_slack_bytes = 1024;
+  cfg.sketch_drift_frac = 0.01;
+  InvariantChecker checker(&sim, cfg);
+
+  sim::SketchHook* hook = checker.wrap_sketch(&es);
+  for (int i = 0; i < 100; ++i) hook->on_data_packet(data_packet(7, 1024));
+  EXPECT_NO_THROW(checker.verify_now());
+
+  // Bytes inserted behind the shadow's back model a broken accounting
+  // path: the sketch now over-reports QP 7 far past slack + frac.
+  es.insert(7, 1 << 20);
+  EXPECT_THROW(checker.verify_now(), CheckFailure);
+}
+
+TEST(InvariantChecker, VerifyNowUsableAtLevelOff) {
+  sim::Simulator sim;
+  InvariantConfig cfg;
+  cfg.level = CheckLevel::kOff;
+  InvariantChecker checker(&sim, cfg);
+
+  sim::ClosConfig clos;
+  clos.n_tor = 1;
+  clos.n_leaf = 1;
+  clos.hosts_per_tor = 2;
+  sim::ClosTopology topo(&sim, clos);
+  checker.watch(topo);
+
+  // No hook installed (events_seen stays 0), but an explicit audit works.
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_EQ(checker.events_seen(), 0u);
+  EXPECT_NO_THROW(checker.verify_now());
+  topo.tor(0).inject_buffer_accounting_fault(4096);
+  EXPECT_THROW(checker.verify_now(), CheckFailure);
+  topo.tor(0).inject_buffer_accounting_fault(-4096);
+}
+
+}  // namespace
+}  // namespace paraleon

@@ -97,9 +97,9 @@ INSTANTIATE_TEST_SUITE_P(
     BufferAndDegree, LosslessTest,
     ::testing::Values(LosslessCase{256 * 1024, 3}, LosslessCase{256 * 1024, 7},
                       LosslessCase{1 << 20, 7}, LosslessCase{128 * 1024, 5}),
-    [](const ::testing::TestParamInfo<LosslessCase>& info) {
-      return "buf" + std::to_string(info.param.buffer_bytes / 1024) + "KB_n" +
-             std::to_string(info.param.incast_degree);
+    [](const ::testing::TestParamInfo<LosslessCase>& param_info) {
+      return "buf" + std::to_string(param_info.param.buffer_bytes / 1024) +
+             "KB_n" + std::to_string(param_info.param.incast_degree);
     });
 
 TEST(MmuInvariant, AllBuffersEmptyAfterQuiescence) {
@@ -156,8 +156,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Scheme::kAcc, Scheme::kDcqcnPlus,
                       Scheme::kParaleonPerPod,
                       Scheme::kParaleonRnicCounters),
-    [](const ::testing::TestParamInfo<Scheme>& info) {
-      std::string n = runner::scheme_name(info.param);
+    [](const ::testing::TestParamInfo<Scheme>& param_info) {
+      std::string n = runner::scheme_name(param_info.param);
       for (auto& c : n) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

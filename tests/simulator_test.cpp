@@ -1,8 +1,10 @@
 // Event queue / simulator: ordering, tie-breaking, run_until semantics.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "sim/simulator.hpp"
 
 namespace paraleon::sim {
@@ -82,6 +84,62 @@ TEST(Simulator, CountsExecutedEvents) {
   for (int i = 0; i < 10; ++i) sim.schedule_at(i, [] {});
   sim.run();
   EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  ASSERT_EQ(sim.now(), 100);
+  try {
+    sim.schedule_at(50, [] { FAIL() << "stale event must never run"; });
+    FAIL() << "schedule_at into the past must throw";
+  } catch (const check::CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("past"), std::string::npos) << what;
+  }
+  // The simulator stays usable: the bad event was rejected, not queued.
+  EXPECT_TRUE(sim.empty());
+  int fired = 0;
+  sim.schedule_at(200, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, ScheduleAtCurrentTimeIsAllowed) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(sim.now(), [&] { ++fired; });  // t == now is legal
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilNeverOnEmptyQueueIsANoOp) {
+  Simulator sim;
+  sim.run_until(kTimeNever);
+  // An open-ended run over an empty queue must not teleport the clock to
+  // the sentinel; later scheduling at small times stays valid.
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+  int fired = 0;
+  sim.schedule_at(5, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5);
+}
+
+TEST(Simulator, SameTimestampOrderedBySequenceAcrossSources) {
+  // Tie-break is the global scheduling sequence number, also when the
+  // same-timestamp events are scheduled from different earlier events.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] { sim.schedule_at(50, [&] { order.push_back(1); }); });
+  sim.schedule_at(20, [&] { sim.schedule_at(50, [&] { order.push_back(2); }); });
+  sim.schedule_at(30, [&] { sim.schedule_at(50, [&] { order.push_back(3); }); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(Simulator, ZeroDelaySelfChainTerminatesWithRunUntil) {

@@ -108,7 +108,7 @@ TEST(ElasticSketch, AccurateForTopFlowsAtScale) {
   // Elephants (the 20 big flows) must be measured within 10%.
   for (std::uint64_t f = 0; f < 20; ++f) {
     EXPECT_NEAR(static_cast<double>(es.query(f)),
-                static_cast<double>(truth[f]), 0.1 * truth[f]);
+                static_cast<double>(truth[f]), 0.1 * static_cast<double>(truth[f]));
   }
 }
 

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "check/check.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
 #include "sim/switch_node.hpp"
@@ -219,6 +221,26 @@ TEST_F(SwitchTest, SketchHookSeesUnmarkedPacketsOnly) {
     if (arr.pkt.flow_id == 42) found_marked_output = arr.pkt.sketch_marked;
   }
   EXPECT_TRUE(found_marked_output);
+}
+
+TEST_F(SwitchTest, MissingRouteDiagnosticNamesSwitchAndDestination) {
+  // No route to host 77 was installed: the lookup must fail loudly (also
+  // in release builds) and the diagnostic must name this switch (id 500)
+  // and the unroutable destination so a miswired topology is debuggable.
+  try {
+    sw_->receive(data_to(/*dst=*/77, /*flow=*/5), 0);
+    FAIL() << "forwarding without a route must throw";
+  } catch (const check::CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("500"), std::string::npos) << what;
+    EXPECT_NE(what.find("77"), std::string::npos) << what;
+    EXPECT_NE(what.find("route"), std::string::npos) << what;
+  }
+}
+
+TEST_F(SwitchTest, RoutePortDiagnosticDirectLookup) {
+  EXPECT_THROW(sw_->route_port(/*dst=*/77, /*flow_id=*/5),
+               check::CheckFailure);
 }
 
 }  // namespace

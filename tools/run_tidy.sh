@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ (config in .clang-tidy; CI fails on findings).
+#
+# Usage: tools/run_tidy.sh [build-dir]
+#   build-dir: a configured build tree with compile_commands.json
+#              (default: build-tidy, configured on demand via the `tidy`
+#              preset, falling back to a plain cmake configure).
+#
+# Exits 0 when clean, 1 on findings, 2 when clang-tidy is unavailable
+# (skipped — the container image may not ship clang; CI installs it).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-tidy}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  for v in 20 19 18 17 16 15; do
+    TIDY="$(command -v "clang-tidy-$v" || true)"
+    [ -n "$TIDY" ] && break
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "run_tidy: clang-tidy not found on PATH — skipping (install clang-tidy to enable the gate)" >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy: configuring $BUILD_DIR for a compilation database" >&2
+  cmake --preset tidy -S "$ROOT" >/dev/null 2>&1 ||
+    cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy: no compile_commands.json in $BUILD_DIR" >&2
+  exit 2
+fi
+
+# All first-party translation units; tests/bench/examples are gated by the
+# compiler warning set instead, to keep the tidy run fast.
+mapfile -t SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
+
+echo "run_tidy: $TIDY over ${#SOURCES[@]} files" >&2
+FAILED=0
+for f in "${SOURCES[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$f"; then
+    FAILED=1
+  fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "run_tidy: findings detected" >&2
+  exit 1
+fi
+echo "run_tidy: clean" >&2
