@@ -64,8 +64,9 @@ void run_variant(const Variant& v) {
 int main() {
   print_header(
       "Engineering ablation: Algorithm 1 additions (Fig. 8 scenario)",
-      "64 hosts @10G; columns: mean goodput / RTT / Eq.(1) utility over "
-      "the run, episode and revert counts");
+      scaling_note(paper_fabric(Scheme::kParaleon, 9),
+                   "columns: mean goodput / RTT / Eq.(1) utility over "
+                   "the run, episode and revert counts"));
   std::printf("%-18s %8s %10s %10s %6s %6s\n", "variant", "Gbps", "rtt_us",
               "utility", "eps", "revs");
   const Variant variants[] = {

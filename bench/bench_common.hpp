@@ -7,6 +7,11 @@
 // presets are rescaled with dcqcn::scaled_for_line_rate (see DESIGN.md).
 #pragma once
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "runner/experiment.hpp"
 #include "runner/report.hpp"
 #include "stats/percentile.hpp"
@@ -16,6 +21,80 @@ namespace paraleon::bench {
 using runner::Experiment;
 using runner::ExperimentConfig;
 using runner::Scheme;
+
+/// The standard machine-parseable scaling note every bench header emits:
+/// the fabric dimensions as key=value pairs derived from the config the
+/// bench actually runs (several benches used to format this by hand, and
+/// the hand-written numbers drifted), then `;` and the bench's free-text
+/// comparison to the paper setup.
+inline std::string scaling_note(const ExperimentConfig& cfg,
+                                const std::string& extra = "") {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "hosts=%d tor=%d leaf=%d host_gbps=%g fabric_gbps=%g "
+                "buffer_mb=%g duration_ms=%g seed=%llu",
+                cfg.clos.n_tor * cfg.clos.hosts_per_tor, cfg.clos.n_tor,
+                cfg.clos.n_leaf, to_gbps(cfg.clos.host_link),
+                to_gbps(cfg.clos.fabric_link),
+                static_cast<double>(cfg.clos.switch_cfg.buffer_bytes) /
+                    (1024.0 * 1024.0),
+                to_ms(cfg.duration),
+                static_cast<unsigned long long>(cfg.seed));
+  std::string note = buf;
+  if (!extra.empty()) note += "; " + extra;
+  return note;
+}
+
+/// Observability flags shared by the benches: `--trace` turns on every
+/// trace category plus per-MI counter scraping, `--tiny` asks the bench
+/// for its smallest configuration (CI smoke), `--obs-out DIR` selects
+/// where the JSON dumps land (default: current directory).
+struct ObsCli {
+  bool trace = false;
+  bool tiny = false;
+  std::string out_dir = ".";
+};
+
+inline ObsCli parse_obs_cli(int argc, char** argv) {
+  ObsCli cli;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      cli.trace = true;
+    } else if (std::strcmp(argv[i], "--tiny") == 0) {
+      cli.tiny = true;
+    } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+      cli.out_dir = argv[++i];
+    }
+  }
+  return cli;
+}
+
+/// Applies the CLI to an experiment config: all trace categories on and
+/// counters scraped once per millisecond of simulated time.
+inline void apply_obs_cli(const ObsCli& cli, ExperimentConfig& cfg) {
+  if (!cli.trace) return;
+  cfg.obs.trace = obs::TraceConfig::all_on();
+  cfg.obs.counter_scrape_interval = milliseconds(1);
+}
+
+/// Writes `<name>.trace.json` (Chrome trace-event format, Perfetto-
+/// loadable) and `<name>.obs.json` (counter registry + episode timelines)
+/// for a finished run. No-op unless --trace was given.
+inline void dump_obs(const ObsCli& cli, const Experiment& exp,
+                     const std::string& name) {
+  if (!cli.trace) return;
+  const std::string base = cli.out_dir + "/" + name;
+  {
+    std::ofstream f(base + ".trace.json");
+    f << exp.simulator().obs().trace().to_json();
+  }
+  {
+    std::ofstream f(base + ".obs.json");
+    f << runner::obs_report_json(exp);
+  }
+  std::printf("# obs: wrote %s.trace.json and %s.obs.json\n", base.c_str(),
+              base.c_str());
+}
 
 /// Paper-shaped fabric at laptop scale: 8 ToR, 4 leaf, 8 hosts/ToR
 /// (64 hosts), 10 Gbps host links, 5 Gbps fabric links — per ToR 80G down

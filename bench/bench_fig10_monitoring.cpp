@@ -41,8 +41,9 @@ Result run_scheme(Scheme s, double load, Time duration) {
 
 int main() {
   print_header("Fig. 10: monitoring designs — FSD accuracy and FCT",
-               "FB_Hadoop on 64 hosts @10G, 300 ms; NetFlow: 1:100 "
-               "sampling, 1 s export (stale at ms scale)");
+               scaling_note(paper_fabric(Scheme::kParaleon, 31),
+                            "FB_Hadoop, 300 ms; NetFlow: 1:100 sampling, "
+                            "1 s export (stale at ms scale)"));
   // RNIC_counters is this repo's extra row: the §V "relaxation" where the
   // monitor reads hypothetical per-QP RNIC counters instead of switch
   // sketches (exact, no programmable switches needed).

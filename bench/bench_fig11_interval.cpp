@@ -36,7 +36,8 @@ Result run_one(Scheme s, Time mi) {
 
 int main() {
   print_header("Fig. 11: monitor interval vs FSD accuracy and FCT",
-               "FB_Hadoop @30% on 64 hosts @10G, 300 ms per cell");
+               scaling_note(paper_fabric(Scheme::kParaleon, 37),
+                            "FB_Hadoop @30%, 300 ms per cell"));
   const Time intervals[] = {microseconds(500), milliseconds(1),
                             milliseconds(2), milliseconds(4),
                             milliseconds(8)};

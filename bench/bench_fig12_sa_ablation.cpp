@@ -64,8 +64,9 @@ void compare(const char* title, bool llm) {
 
 int main() {
   print_header("Fig. 12: SA ablation — utility convergence, naive vs guided",
-               "one forced tuning episode on 64 hosts @10G; 10 iters/temp, "
-               "x0.85 cooling (Table III shape)");
+               scaling_note(paper_fabric(Scheme::kParaleon, 53),
+                            "one forced tuning episode; 10 iters/temp, "
+                            "x0.85 cooling (Table III shape)"));
   compare("(a) FB_Hadoop @30%", /*llm=*/false);
   compare("(b) LLM training alltoall", /*llm=*/true);
   std::printf(

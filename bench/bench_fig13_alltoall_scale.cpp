@@ -40,8 +40,9 @@ double avg_bw_gbps(Scheme s, int workers) {
 
 int main() {
   print_header("Fig. 13: alltoall bandwidth vs collective scale",
-               "paper: 8..32 H100 nodes @400G testbed; here 8..32 workers "
-               "on the 64-host 10G fabric, 512KB flows");
+               scaling_note(paper_fabric(Scheme::kParaleon, 61),
+                            "8..32 workers, 512KB flows (paper: 8..32 H100 "
+                            "nodes @400G testbed)"));
   const int scales[] = {8, 16, 32};
   std::printf("%-10s", "scheme");
   for (int n : scales) std::printf("%8dx%-4d", n, n);

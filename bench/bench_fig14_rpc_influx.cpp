@@ -66,8 +66,9 @@ void run_scheme(Scheme s) {
 
 int main() {
   print_header("Fig. 14: runtime bandwidth & latency with SolarRPC influx",
-               "32-worker alltoall background + 50 ms SolarRPC burst @25% "
-               "load; 64 hosts @10G (paper: 32 H100 nodes @400G)");
+               scaling_note(paper_fabric(Scheme::kParaleon, 77),
+                            "32-worker alltoall background + 50 ms SolarRPC "
+                            "burst @25% load (paper: 32 H100 nodes @400G)"));
   std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s | %10s\n", "", "before",
               "", "burst", "", "after", "", "rpc");
   std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s | %10s\n", "scheme",

@@ -103,8 +103,9 @@ void hai_recovery_sweep() {
 
 int main() {
   print_header("Fig. 5: single-parameter impacts on throughput & RTT",
-               "paper: 20x20 alltoall on 100G NS3; here 12x12 alltoall on "
-               "10G, 16-host fabric; parameter units scaled to 10G");
+               scaling_note(small_fabric(Scheme::kCustomStatic, 7),
+                            "12x12 alltoall, parameter units scaled to 10G "
+                            "(paper: 20x20 alltoall on 100G NS3)"));
   // hai_rate governs ramp-up after congestion clears (the hyper-increase
   // stage), so it is measured on a recovery scenario: two flows share a
   // bottleneck, one finishes, and the survivor must re-claim the line

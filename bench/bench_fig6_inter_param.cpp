@@ -50,7 +50,8 @@ Point run_cell(Time rpg_time_reset, std::int64_t kmax) {
 
 int main() {
   print_header("Fig. 6: inter-parameter impact grid (rpg_time_reset x kmax)",
-               "12x12 alltoall on 10G 16-host fabric; paper used 100G NS3");
+               scaling_note(small_fabric(Scheme::kCustomStatic, 13),
+                            "12x12 alltoall (paper used 100G NS3)"));
   const Time resets[] = {microseconds(30), microseconds(100),
                          microseconds(300), microseconds(900)};
   const std::int64_t kmaxes[] = {20 << 10, 80 << 10, 320 << 10, 1280 << 10};

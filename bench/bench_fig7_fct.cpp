@@ -82,8 +82,9 @@ void llm_part(int workers) {
 
 int main() {
   print_header("Fig. 7: FCT of 5 tuning schemes (FB_Hadoop + LLM alltoall)",
-               "paper: 128 hosts @100G NS3, seconds-long runs; here 64 "
-               "hosts @10G, 400 ms, flows scaled");
+               scaling_note(paper_fabric(Scheme::kParaleon, 3),
+                            "400 ms, flows scaled (paper: 128 hosts @100G "
+                            "NS3, seconds-long runs)"));
   fb_hadoop_part();
   llm_part(8);
   llm_part(16);

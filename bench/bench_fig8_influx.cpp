@@ -18,10 +18,11 @@ namespace {
 constexpr Time kInfluxStart = milliseconds(120);
 constexpr Time kInfluxEnd = milliseconds(150);
 constexpr Time kEnd = milliseconds(380);
+ObsCli g_cli;
 
-void run_scheme(Scheme s) {
-  ExperimentConfig cfg = paper_fabric(s, 9);
-  cfg.duration = kEnd;
+ExperimentConfig fig8_config(Scheme s) {
+  ExperimentConfig cfg = g_cli.tiny ? small_fabric(s, 9) : paper_fabric(s, 9);
+  cfg.duration = g_cli.tiny ? milliseconds(60) : kEnd;
   // React fast enough to catch a 30 ms influx.
   cfg.controller.episode_cooldown_mi = 10;
   cfg.controller.steady_retrigger_mi = 0;  // pure KL-triggered adaptation
@@ -30,18 +31,30 @@ void run_scheme(Scheme s) {
   cfg.controller.sa.cooling_rate = 0.5;
   cfg.controller.sa.final_temp = 30;
   cfg.controller.eval_mi_per_candidate = 2;
+  apply_obs_cli(g_cli, cfg);
+  return cfg;
+}
+
+void run_scheme(Scheme s) {
+  ExperimentConfig cfg = fig8_config(s);
+  const Time influx_start = g_cli.tiny ? milliseconds(20) : kInfluxStart;
+  const Time influx_end = g_cli.tiny ? milliseconds(35) : kInfluxEnd;
+  const Time end = cfg.duration;
   Experiment exp(cfg);
 
   workload::AlltoallConfig a2a;
-  for (int i = 0; i < 16; ++i) a2a.workers.push_back(i * 4);
+  const int workers = g_cli.tiny ? 8 : 16;
+  const int stride = exp.topology().host_count() / workers;
+  for (int i = 0; i < workers; ++i) a2a.workers.push_back(i * stride);
   a2a.flow_size = 512 * 1024;
   a2a.off_period = milliseconds(1);
   exp.add_alltoall(a2a);
 
-  workload::PoissonConfig burst = fb_hadoop(exp, 0.4, kInfluxEnd, 2009);
-  burst.start = kInfluxStart;
+  workload::PoissonConfig burst = fb_hadoop(exp, 0.4, influx_end, 2009);
+  burst.start = influx_start;
   exp.add_poisson(burst);
   exp.run();
+  if (s == Scheme::kParaleon) dump_obs(g_cli, exp, "fig8_paraleon");
 
   const auto& tput = exp.throughput_series();
   const auto& rtt = exp.rtt_series();
@@ -49,9 +62,11 @@ void run_scheme(Scheme s) {
   const auto phase = [&](Time a, Time b) {
     std::printf(" | %8.2f %8.2f", tput.mean_in(a, b), rtt.mean_in(a, b));
   };
-  phase(milliseconds(60), kInfluxStart);       // before
-  phase(kInfluxStart + milliseconds(2), kInfluxEnd);  // influx
-  phase(kEnd - milliseconds(100), kEnd);  // after (converged tail)
+  phase(g_cli.tiny ? milliseconds(5) : milliseconds(60),
+        influx_start);                                // before
+  phase(influx_start + milliseconds(2), influx_end);  // influx
+  phase(end - (g_cli.tiny ? milliseconds(20) : milliseconds(100)),
+        end);  // after (converged tail)
   if (exp.controller() != nullptr) {
     std::printf("  (episodes=%llu)",
                 static_cast<unsigned long long>(exp.controller()->episodes()));
@@ -61,10 +76,12 @@ void run_scheme(Scheme s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_cli = parse_obs_cli(argc, argv);
   print_header("Fig. 8: runtime throughput & RTT across a FB_Hadoop influx",
-               "LLM alltoall background + 30 ms FB_Hadoop burst @40% load, "
-               "64 hosts @10G (paper: 128 @100G)");
+               scaling_note(fig8_config(Scheme::kParaleon),
+                            "LLM alltoall background + 30 ms FB_Hadoop burst "
+                            "@40% load (paper: 128 hosts @100G)"));
   std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s\n", "", "before",
               "", "influx", "", "after", "");
   std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s\n", "scheme", "Gbps",

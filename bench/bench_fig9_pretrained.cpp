@@ -82,8 +82,9 @@ void run_influx(const std::string& name, ExperimentConfig cfg) {
 
 int main() {
   print_header("Fig. 9: live PARALEON vs offline-pretrained static settings",
-               "pretraining: 200 ms offline episodes; evaluation: the "
-               "Fig. 8 influx scenario, 64 hosts @10G");
+               scaling_note(paper_fabric(Scheme::kParaleon, 71),
+                            "pretraining: 200 ms offline episodes; "
+                            "evaluation: the Fig. 8 influx scenario"));
   const dcqcn::DcqcnParams pre1 = pretrain_on_alltoall();
   const dcqcn::DcqcnParams pre2 = pretrain_on_fb_hadoop();
   std::printf("Pretrained1 (alltoall):  %s\n", dcqcn::to_string(pre1).c_str());

@@ -37,8 +37,9 @@ double algbw_for(Scheme scheme, std::int64_t per_pair_bytes) {
 int main() {
   print_header(
       "Table II: alltoall out-of-place algbw (GB/s), Default vs Expert",
-      "paper: 128x128 on 400G, 512..8192 MB; here 16x16 on 10G, "
-      "1..16 MB total per pair pairwise-scaled");
+      scaling_note(paper_fabric(Scheme::kDefaultStatic, 42),
+                   "16x16, 1..16 MB total per pair pairwise-scaled "
+                   "(paper: 128x128 on 400G, 512..8192 MB)"));
   const std::int64_t sizes_kb[] = {64, 128, 256, 512, 1024};
   std::printf("%-12s", "size_per_pair");
   for (auto s : sizes_kb) std::printf("%8lldKB", static_cast<long long>(s));

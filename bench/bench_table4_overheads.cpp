@@ -15,8 +15,9 @@ using namespace paraleon::runner;
 
 int main() {
   print_header("Table IV: PARALEON system overheads",
-               "measured on a 64-host @10G run with continuous tuning; "
-               "paper values from a 32-node 400G testbed");
+               scaling_note(paper_fabric(Scheme::kParaleon, 91),
+                            "continuous tuning (paper values from a "
+                            "32-node 400G testbed)"));
   ExperimentConfig cfg = paper_fabric(Scheme::kParaleon, 91);
   cfg.duration = milliseconds(300);
   cfg.controller.episode_cooldown_mi = 5;

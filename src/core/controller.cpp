@@ -25,7 +25,7 @@ ParaleonController::ParaleonController(sim::Simulator* sim,
       installed_(topo->config().dcqcn) {}
 
 void ParaleonController::start() {
-  sim_->schedule_at(cfg_.start + cfg_.mi, [this] { tick(); });
+  sim_->schedule_at(cfg_.start + cfg_.mi, [this] { tick(); }, "core.mi_tick");
 }
 
 void ParaleonController::dispatch(const dcqcn::DcqcnParams& p) {
@@ -82,27 +82,45 @@ void ParaleonController::tick() {
         a * fsd_.active_flows + (1.0 - a) * smoothed_fsd_.active_flows;
   }
 
-  // (3) Trigger logic.
+  // (3) Trigger logic. The KL value is computed once and shared by the
+  // trigger test, the monitor trace and the episode timeline.
+  const double kl =
+      have_prev_fsd_ ? kl_divergence(smoothed_fsd_, prev_smoothed_fsd_) : 0.0;
   bool trigger = forced_trigger_;
+  const char* trigger_reason = forced_trigger_ ? "forced" : "";
   forced_trigger_ = false;
   if (!sa_.active()) {
     ++mi_since_episode_end_;
     if (cfg_.fsd_available) {
       if (have_prev_fsd_ &&
           mi_since_episode_end_ >= cfg_.episode_cooldown_mi &&
-          kl_divergence(smoothed_fsd_, prev_smoothed_fsd_) > cfg_.kl_theta) {
+          kl > cfg_.kl_theta) {
+        if (!trigger) trigger_reason = "kl";
         trigger = true;
       }
       if (cfg_.steady_retrigger_mi > 0 &&
           mi_since_episode_end_ >= cfg_.steady_retrigger_mi) {
+        if (!trigger) trigger_reason = "steady";
         trigger = true;
       }
     } else if (mi_since_episode_end_ >= cfg_.blind_retrigger_mi) {
       // No-FSD ablation: blind periodic retriggering.
+      if (!trigger) trigger_reason = "blind";
       trigger = true;
     }
   }
   have_prev_fsd_ = true;
+
+  obs::TraceRecorder& tr = sim_->obs().trace();
+  if (tr.enabled(obs::TraceCategory::kMonitor)) {
+    tr.instant(obs::TraceCategory::kMonitor, "monitor.tick", now, 0, 0,
+               {{"kl_micro", static_cast<std::int64_t>(kl * 1e6)},
+                {"elephant_milli", static_cast<std::int64_t>(
+                                       fsd_.elephant_share * 1000.0)},
+                {"active_flows",
+                 static_cast<std::int64_t>(fsd_.active_flows)}});
+  }
+
   if (trigger && !sa_.active()) {
     pre_episode_params_ = installed_;
     pre_episode_util_ = idle_util_ema_;
@@ -131,6 +149,12 @@ void ParaleonController::tick() {
       last_kick_dominant_ = dominant;
     }
     sa_.begin_episode(start);
+    episode_log_.begin(now, trigger_reason, kl, start);
+    if (tr.enabled(obs::TraceCategory::kSa)) {
+      tr.instant(obs::TraceCategory::kSa, "sa.episode_begin", now, 0, 0,
+                 {{"episode", static_cast<std::int64_t>(sa_.episodes())},
+                  {"kl_micro", static_cast<std::int64_t>(kl * 1e6)}});
+    }
     mi_since_episode_end_ = 0;
   }
 
@@ -146,10 +170,34 @@ void ParaleonController::tick() {
       eval_mi_count_ = 0;
       const double share =
           cfg_.fsd_available ? smoothed_fsd_.elephant_share : 0.5;
+      // The measurement belongs to the setting installed *before* this
+      // step swaps in the next candidate.
+      const dcqcn::DcqcnParams measured = installed_;
       const dcqcn::DcqcnParams next =
           sa_.step(avg_u * kUtilityScale, share);
+      episode_log_.add_trial({now, sa_.iterations_done(), sa_.temperature(),
+                              measured, avg_u * kUtilityScale,
+                              sa_.last_accepted()});
+      if (tr.enabled(obs::TraceCategory::kSa)) {
+        tr.instant(
+            obs::TraceCategory::kSa, "sa.trial", now, 0, 0,
+            {{"utility_milli",
+              static_cast<std::int64_t>(avg_u * kUtilityScale * 1000.0)},
+             {"accepted", sa_.last_accepted() ? 1 : 0},
+             {"temp_milli",
+              static_cast<std::int64_t>(sa_.temperature() * 1000.0)}});
+      }
       dispatch(next);
       if (!sa_.active()) {
+        episode_log_.close(now, sa_.best(), sa_.best_utility());
+        if (tr.enabled(obs::TraceCategory::kSa)) {
+          tr.instant(obs::TraceCategory::kSa, "sa.episode_end", now, 0, 0,
+                     {{"episode", static_cast<std::int64_t>(sa_.episodes())},
+                      {"best_utility_milli", static_cast<std::int64_t>(
+                                                 sa_.best_utility() * 1000.0)},
+                      {"trials", static_cast<std::int64_t>(
+                                     episode_log_.trial_count())}});
+        }
         mi_since_episode_end_ = 0;
         // Arm the post-episode regression check for the installed best.
         if (cfg_.post_check_window_mi > 0 && idle_util_ema_ >= 0.0) {
@@ -173,6 +221,15 @@ void ParaleonController::tick() {
         const double post_avg = post_util_sum_ / post_util_n_;
         if (post_avg < pre_episode_util_ - cfg_.revert_margin) {
           ++reverts_;
+          episode_log_.mark_last_reverted();
+          if (tr.enabled(obs::TraceCategory::kSa)) {
+            tr.instant(
+                obs::TraceCategory::kSa, "sa.revert", now, 0, 0,
+                {{"post_utility_milli",
+                  static_cast<std::int64_t>(post_avg * 1000.0)},
+                 {"pre_utility_milli",
+                  static_cast<std::int64_t>(pre_episode_util_ * 1000.0)}});
+          }
           dispatch(pre_episode_params_);
         }
       }
@@ -187,7 +244,7 @@ void ParaleonController::tick() {
   overheads_.controller_cpu_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  sim_->schedule_in(cfg_.mi, [this] { tick(); });
+  sim_->schedule_in(cfg_.mi, [this] { tick(); }, "core.mi_tick");
 }
 
 }  // namespace paraleon::core

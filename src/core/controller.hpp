@@ -17,6 +17,7 @@
 #include "core/monitor.hpp"
 #include "core/sa_tuner.hpp"
 #include "core/utility.hpp"
+#include "obs/episode_log.hpp"
 #include "sim/topology.hpp"
 #include "stats/timeseries.hpp"
 
@@ -97,6 +98,8 @@ class ParaleonController {
   /// Episodes whose outcome regressed and was rolled back (safeguard).
   std::uint64_t reverts() const { return reverts_; }
   const SaTuner& tuner() const { return sa_; }
+  /// Timeline of every tuning episode: trigger, trials, outcome.
+  const obs::EpisodeLog& episode_log() const { return episode_log_; }
 
   struct Overheads {
     double controller_cpu_seconds = 0.0;
@@ -148,6 +151,7 @@ class ParaleonController {
   stats::TimeSeries rtt_series_;
   stats::TimeSeries eleph_series_;
   Overheads overheads_;
+  obs::EpisodeLog episode_log_;
 };
 
 }  // namespace paraleon::core

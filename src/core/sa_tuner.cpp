@@ -52,6 +52,7 @@ dcqcn::DcqcnParams SaTuner::step(double measured_utility,
   if (first_step_) {
     // The measurement belongs to the pre-episode setting: seed the state.
     first_step_ = false;
+    last_accepted_ = true;
     current_util_ = measured_utility;
     best_util_ = measured_utility;
   } else {
@@ -60,7 +61,9 @@ dcqcn::DcqcnParams SaTuner::step(double measured_utility,
     const double delta = measured_utility - current_util_;
     const double accept_temp =
         std::max(1e-9, temp_ * cfg_.acceptance_temp_scale);
-    if (delta > 0.0 || std::exp(delta / accept_temp) > rng_.uniform()) {
+    last_accepted_ =
+        delta > 0.0 || std::exp(delta / accept_temp) > rng_.uniform();
+    if (last_accepted_) {
       current_util_ = measured_utility;
       current_solution_ = candidate_;
     }

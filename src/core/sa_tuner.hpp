@@ -75,6 +75,9 @@ class SaTuner {
   double temperature() const { return temp_; }
   int iterations_done() const { return total_iterations_; }
   std::uint64_t episodes() const { return episodes_; }
+  /// Whether the most recent step() accepted the measured candidate (the
+  /// first, seeding step counts as accepted) — episode-timeline input.
+  bool last_accepted() const { return last_accepted_; }
 
  private:
   dcqcn::DcqcnParams mutate(double elephant_share);
@@ -85,6 +88,7 @@ class SaTuner {
 
   bool active_ = false;
   bool first_step_ = false;
+  bool last_accepted_ = false;
   double temp_ = 0.0;
   int iter_in_temp_ = 0;
   int total_iterations_ = 0;

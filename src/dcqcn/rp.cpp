@@ -4,8 +4,10 @@
 
 namespace paraleon::dcqcn {
 
-RpState::RpState(const DcqcnParams* params, Rate line_rate, Time now)
+RpState::RpState(const DcqcnParams* params, Rate line_rate, Time now,
+                 RpCounters* counters)
     : params_(params),
+      counters_(counters),
       line_rate_(line_rate),
       rc_(line_rate),
       rt_(line_rate),
@@ -26,6 +28,7 @@ bool RpState::on_cnp(Time now) {
   b_stage_ = 0;
   bytes_since_counter_ = 0;
   rate_timer_deadline_ = now + params_->rpg_time_reset;
+  if (counters_ != nullptr) ++counters_->cuts;
   return true;
 }
 
@@ -77,19 +80,23 @@ void RpState::fire_alpha_timer(Time when) {
   }
   cnp_since_alpha_update_ = false;
   alpha_timer_deadline_ = when + params_->alpha_update_period;
+  if (counters_ != nullptr) ++counters_->alpha_updates;
 }
 
 void RpState::rate_increase_event() {
   const int f = params_->rpg_threshold;
   if (t_stage_ < f && b_stage_ < f) {
     // Fast recovery: halve the distance to the pre-cut rate.
+    if (counters_ != nullptr) ++counters_->fast_recovery;
   } else if (t_stage_ >= f && b_stage_ >= f) {
     // Hyper increase: step grows with the hyper stage count.
     const int i = std::min(t_stage_, b_stage_) - f + 1;
     rt_ += params_->hai_rate * i;
+    if (counters_ != nullptr) ++counters_->hyper_increase;
   } else {
     // Additive increase.
     rt_ += params_->ai_rate;
+    if (counters_ != nullptr) ++counters_->additive_increase;
   }
   rc_ = (rt_ + rc_) / 2.0;
   clamp_rates();

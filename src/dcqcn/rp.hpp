@@ -14,12 +14,26 @@
 
 namespace paraleon::dcqcn {
 
+/// Aggregated RP event counts by AIMD stage. One instance is typically
+/// shared by every QP of a host and surfaced through the observability
+/// registry — per-QP instruments would explode the dump at scale.
+struct RpCounters {
+  std::uint64_t cuts = 0;
+  std::uint64_t fast_recovery = 0;
+  std::uint64_t additive_increase = 0;
+  std::uint64_t hyper_increase = 0;
+  std::uint64_t alpha_updates = 0;
+};
+
 class RpState {
  public:
   /// `params` must outlive the RpState; the pointed-to values may change at
   /// any time (that is the whole point of PARALEON) and take effect on the
   /// next event. A QP starts at line rate with alpha = initial_alpha.
-  RpState(const DcqcnParams* params, Rate line_rate, Time now);
+  /// `counters`, if non-null, must outlive the RpState and is bumped on
+  /// every stage event (it may be shared across QPs).
+  RpState(const DcqcnParams* params, Rate line_rate, Time now,
+          RpCounters* counters = nullptr);
 
   /// A CNP arrived for this QP. Performs a multiplicative cut unless one
   /// already happened within rate_reduce_monitor_period. Returns true if a
@@ -54,6 +68,7 @@ class RpState {
   void clamp_rates();
 
   const DcqcnParams* params_;
+  RpCounters* counters_;
   Rate line_rate_;
   Rate rc_;  // current (paced) rate
   Rate rt_;  // target rate

@@ -1,0 +1,129 @@
+#include "obs/counters.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace paraleon::obs {
+
+Counter Registry::counter(const std::string& name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return Counter(&slots_[it->second]);
+  const std::size_t idx = slots_.size();
+  slots_.push_back(0);
+  counters_.emplace(name, idx);
+  return Counter(&slots_[idx]);
+}
+
+void Registry::gauge(std::string name, ReadFn read) {
+  gauges_[std::move(name)] = std::move(read);
+}
+
+std::vector<Registry::Sample> Registry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(size());
+  // Both maps are name-ordered; a two-way merge keeps the result sorted.
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  while (c != counters_.end() || g != gauges_.end()) {
+    const bool take_counter =
+        g == gauges_.end() ||
+        (c != counters_.end() && c->first < g->first);
+    if (take_counter) {
+      out.push_back(
+          {c->first, true, static_cast<double>(slots_[c->second])});
+      ++c;
+    } else {
+      out.push_back({g->first, false, g->second ? g->second() : 0.0});
+      ++g;
+    }
+  }
+  return out;
+}
+
+double Registry::value_of(const std::string& name) const {
+  const auto c = counters_.find(name);
+  if (c != counters_.end()) return static_cast<double>(slots_[c->second]);
+  const auto g = gauges_.find(name);
+  if (g != gauges_.end() && g->second) return g->second();
+  return 0.0;
+}
+
+bool Registry::has(const std::string& name) const {
+  return counters_.count(name) != 0 || gauges_.count(name) != 0;
+}
+
+std::string format_value(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(v));
+  } else if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN literals; encode as null.
+    std::snprintf(buf, sizeof buf, "null");
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+namespace {
+
+void append_section(std::string& out, const char* title,
+                    const std::vector<Registry::Sample>& samples,
+                    bool counters) {
+  out += '"';
+  out += title;
+  out += "\": {";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (s.is_counter != counters) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += s.name;
+    out += "\": ";
+    out += format_value(s.value);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  const auto samples = snapshot();
+  std::string out = "{";
+  append_section(out, "counters", samples, /*counters=*/true);
+  out += ", ";
+  append_section(out, "gauges", samples, /*counters=*/false);
+  out += '}';
+  return out;
+}
+
+std::string Registry::to_csv() const {
+  std::string out = "name,kind,value\n";
+  for (const auto& s : snapshot()) {
+    out += s.name;
+    out += s.is_counter ? ",counter," : ",gauge,";
+    out += format_value(s.value);
+    out += '\n';
+  }
+  return out;
+}
+
+void ScrapeLog::record(Time t, const Registry& reg) {
+  if (filter_.empty()) {
+    for (const auto& s : reg.snapshot()) series_[s.name].add(t, s.value);
+    return;
+  }
+  for (const auto& name : filter_) {
+    series_[name].add(t, reg.value_of(name));
+  }
+}
+
+const stats::TimeSeries& ScrapeLog::series(const std::string& name) const {
+  static const stats::TimeSeries kEmpty;
+  const auto it = series_.find(name);
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+}  // namespace paraleon::obs

@@ -1,0 +1,122 @@
+// Counter registry: the one place every layer registers its named
+// observables (monotonic counters and gauges), replacing the scattered
+// one-off counter members the layers used to keep privately.
+//
+// Two instrument kinds:
+//   - Counter: a registry-owned int64 slot behind a cheap handle. The
+//     owning layer increments through the handle (one pointer indirection,
+//     hot-path safe) and can still expose the value through its own
+//     accessors; the registry sees every counter for free.
+//   - Gauge: a callback evaluated at scrape time (zero cost between
+//     scrapes). Used for values that already live somewhere (queue depth,
+//     buffer occupancy, accumulated pause time).
+//
+// One Registry lives per Simulator, so two concurrent experiments never
+// share instruments and a run's dump is a pure function of its seed.
+// Callback gauges capture raw pointers into the registering object; read
+// them only while that object is alive (in practice: while the Experiment
+// that built the fabric exists).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "stats/timeseries.hpp"
+
+namespace paraleon::obs {
+
+class Registry;
+
+/// Handle to a registry-owned monotonic counter slot. Default-constructed
+/// handles are inert (add/inc are no-ops, value() == 0), so members can be
+/// declared before the registry is known.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::int64_t delta) {
+    if (slot_ != nullptr) *slot_ += delta;
+  }
+  void inc() { add(1); }
+  std::int64_t value() const { return slot_ == nullptr ? 0 : *slot_; }
+  bool valid() const { return slot_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::int64_t* slot) : slot_(slot) {}
+  std::int64_t* slot_ = nullptr;
+};
+
+class Registry {
+ public:
+  using ReadFn = std::function<double()>;
+
+  /// Returns a handle to the named counter, creating the slot on first
+  /// use. Registering the same name twice returns a handle to the same
+  /// slot, so several sites may share one logical counter.
+  Counter counter(const std::string& name);
+
+  /// Registers (or replaces) a callback-backed gauge.
+  void gauge(std::string name, ReadFn read);
+
+  struct Sample {
+    std::string name;
+    bool is_counter = false;
+    double value = 0.0;
+  };
+  /// Every instrument, sorted by name, read now. Deterministic: the order
+  /// depends only on the names, never on registration order.
+  std::vector<Sample> snapshot() const;
+
+  /// Current value of one instrument (0.0 if absent).
+  double value_of(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::size_t size() const { return counters_.size() + gauges_.size(); }
+
+  /// One JSON document: {"counters": {...}, "gauges": {...}}, keys sorted.
+  /// Byte-identical for identical instrument values (the determinism test
+  /// relies on this).
+  std::string to_json() const;
+  /// CSV document: `name,kind,value` rows, sorted by name.
+  std::string to_csv() const;
+
+ private:
+  std::map<std::string, std::size_t> counters_;  // name -> index in slots_
+  std::deque<std::int64_t> slots_;               // stable addresses
+  std::map<std::string, ReadFn> gauges_;
+};
+
+/// Formats an instrument value exactly: integral values print without a
+/// fraction, everything else with max round-trip precision. Deterministic
+/// for a given bit pattern.
+std::string format_value(double v);
+
+/// Periodic scrape sink: records a (filtered) registry snapshot per call
+/// into one stats::TimeSeries per instrument — the mechanism behind
+/// QueueTelemetry and the opt-in per-interval counter series.
+class ScrapeLog {
+ public:
+  /// Restricts future record() calls to these instrument names
+  /// (empty = scrape everything).
+  void set_filter(std::vector<std::string> names) {
+    filter_ = std::move(names);
+  }
+
+  void record(Time t, const Registry& reg);
+
+  const stats::TimeSeries& series(const std::string& name) const;
+  const std::map<std::string, stats::TimeSeries>& all() const {
+    return series_;
+  }
+  bool empty() const { return series_.empty(); }
+
+ private:
+  std::vector<std::string> filter_;
+  std::map<std::string, stats::TimeSeries> series_;
+};
+
+}  // namespace paraleon::obs

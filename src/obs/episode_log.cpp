@@ -1,0 +1,112 @@
+#include "obs/episode_log.hpp"
+
+#include "obs/counters.hpp"
+
+namespace paraleon::obs {
+
+EpisodeLog::Episode& EpisodeLog::begin(Time t, const char* trigger,
+                                       double kl_value,
+                                       const dcqcn::DcqcnParams& start_params) {
+  Episode ep;
+  ep.index = episodes_.size();
+  ep.start = t;
+  ep.trigger = trigger;
+  ep.kl_value = kl_value;
+  ep.start_params = start_params;
+  episodes_.push_back(std::move(ep));
+  open_ = true;
+  return episodes_.back();
+}
+
+void EpisodeLog::add_trial(const Trial& trial) {
+  if (!open_) return;
+  episodes_.back().trials.push_back(trial);
+}
+
+void EpisodeLog::close(Time t, const dcqcn::DcqcnParams& best,
+                       double best_utility) {
+  if (!open_) return;
+  Episode& ep = episodes_.back();
+  ep.end = t;
+  ep.best_params = best;
+  ep.best_utility = best_utility;
+  open_ = false;
+}
+
+void EpisodeLog::mark_last_reverted() {
+  if (!episodes_.empty()) episodes_.back().reverted = true;
+}
+
+std::size_t EpisodeLog::trial_count() const {
+  std::size_t n = 0;
+  for (const auto& ep : episodes_) n += ep.trials.size();
+  return n;
+}
+
+std::string params_to_json(const dcqcn::DcqcnParams& p) {
+  std::string out = "{";
+  const auto field = [&out](const char* name, double v, bool last = false) {
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += format_value(v);
+    if (!last) out += ", ";
+  };
+  field("ai_rate_mbps", to_mbps(p.ai_rate));
+  field("hai_rate_mbps", to_mbps(p.hai_rate));
+  field("rpg_time_reset_us", to_us(p.rpg_time_reset));
+  field("rpg_byte_reset", static_cast<double>(p.rpg_byte_reset));
+  field("rpg_threshold", p.rpg_threshold);
+  field("min_rate_mbps", to_mbps(p.min_rate));
+  field("rate_reduce_monitor_period_us",
+        to_us(p.rate_reduce_monitor_period));
+  field("clamp_tgt_rate", p.clamp_tgt_rate ? 1.0 : 0.0);
+  field("alpha_update_period_us", to_us(p.alpha_update_period));
+  field("g", p.g);
+  field("min_time_between_cnps_us", to_us(p.min_time_between_cnps));
+  field("kmin_kb", static_cast<double>(p.kmin_bytes) / 1024.0);
+  field("kmax_kb", static_cast<double>(p.kmax_bytes) / 1024.0);
+  field("pmax", p.pmax, /*last=*/true);
+  out += '}';
+  return out;
+}
+
+std::string EpisodeLog::to_json() const {
+  std::string out = "[";
+  bool first_ep = true;
+  for (const auto& ep : episodes_) {
+    if (!first_ep) out += ",";
+    first_ep = false;
+    out += "\n{\"index\": " + format_value(static_cast<double>(ep.index));
+    out += ", \"start_ms\": " + format_value(to_ms(ep.start));
+    out += ", \"end_ms\": " +
+           (ep.end < 0 ? std::string("null") : format_value(to_ms(ep.end)));
+    out += ", \"trigger\": \"";
+    out += ep.trigger;
+    out += "\", \"kl_value\": " + format_value(ep.kl_value);
+    out += ", \"reverted\": ";
+    out += ep.reverted ? "true" : "false";
+    out += ", \"start_params\": " + params_to_json(ep.start_params);
+    out += ", \"best_utility\": " + format_value(ep.best_utility);
+    out += ", \"best_params\": " + params_to_json(ep.best_params);
+    out += ", \"trials\": [";
+    bool first_tr = true;
+    for (const auto& tr : ep.trials) {
+      if (!first_tr) out += ",";
+      first_tr = false;
+      out += "\n  {\"t_ms\": " + format_value(to_ms(tr.t));
+      out += ", \"iteration\": " + format_value(tr.iteration);
+      out += ", \"temperature\": " + format_value(tr.temperature);
+      out += ", \"utility\": " + format_value(tr.utility);
+      out += ", \"accepted\": ";
+      out += tr.accepted ? "true" : "false";
+      out += ", \"params\": " + params_to_json(tr.params);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n]";
+  return out;
+}
+
+}  // namespace paraleon::obs

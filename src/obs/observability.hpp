@@ -1,0 +1,42 @@
+// The per-run observability context: one counter registry, one trace
+// recorder, and one loop profiler, owned by the Simulator so that every
+// component holding a `Simulator*` can register instruments and emit
+// trace events without extra plumbing.
+#pragma once
+
+#include "common/time.hpp"
+#include "obs/counters.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace paraleon::obs {
+
+/// Experiment-level observability knobs (everything defaults off, so an
+/// unconfigured run pays one branch per potential trace site and nothing
+/// else).
+struct ObsConfig {
+  TraceConfig trace;
+  /// Wall-clock self-profiling of the event loop (nondeterministic output;
+  /// reported via runner::run_meta, never digested).
+  bool profile_loop = false;
+  /// > 0: scrape every registry instrument into a stats::TimeSeries each
+  /// interval of simulated time (Experiment::counter_scrapes()).
+  Time counter_scrape_interval = 0;
+};
+
+class Observability {
+ public:
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+  LoopProfiler& profiler() { return profiler_; }
+  const LoopProfiler& profiler() const { return profiler_; }
+
+ private:
+  Registry registry_;
+  TraceRecorder trace_;
+  LoopProfiler profiler_;
+};
+
+}  // namespace paraleon::obs

@@ -1,0 +1,187 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace paraleon::obs {
+
+const char* trace_category_name(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kPacket:
+      return "packet";
+    case TraceCategory::kPfc:
+      return "pfc";
+    case TraceCategory::kRp:
+      return "rp";
+    case TraceCategory::kMonitor:
+      return "monitor";
+    case TraceCategory::kSa:
+      return "sa";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::configure(const TraceConfig& cfg) {
+  mask_ = 0;
+  if (cfg.packet) mask_ |= static_cast<std::uint32_t>(TraceCategory::kPacket);
+  if (cfg.pfc) mask_ |= static_cast<std::uint32_t>(TraceCategory::kPfc);
+  if (cfg.rp) mask_ |= static_cast<std::uint32_t>(TraceCategory::kRp);
+  if (cfg.monitor) {
+    mask_ |= static_cast<std::uint32_t>(TraceCategory::kMonitor);
+  }
+  if (cfg.sa) mask_ |= static_cast<std::uint32_t>(TraceCategory::kSa);
+  capacity_ = cfg.capacity == 0 ? 1 : cfg.capacity;
+  clear();
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::size_t TraceRecorder::recorded() const { return ring_.size(); }
+
+const TraceEvent& TraceRecorder::at_oldest_first(std::size_t i) const {
+  // Until the ring wraps, ring_[0] is oldest; afterwards next_ points at
+  // the oldest retained event.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  return ring_[(start + i) % ring_.size()];
+}
+
+void TraceRecorder::push(const TraceEvent& ev) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+    return;
+  }
+  ring_[next_] = ev;
+  next_ = (next_ + 1) % capacity_;
+}
+
+namespace {
+
+void fill_args(TraceEvent& ev, std::initializer_list<TraceArg> args) {
+  for (const TraceArg& a : args) {
+    if (ev.n_args >= 3) break;
+    ev.args[ev.n_args++] = a;
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::instant(TraceCategory c, const char* name, Time ts,
+                            std::int64_t pid, std::int64_t tid,
+                            std::initializer_list<TraceArg> args) {
+  if (!enabled(c)) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = c;
+  ev.ph = 'i';
+  ev.ts = ts;
+  ev.pid = pid;
+  ev.tid = tid;
+  fill_args(ev, args);
+  push(ev);
+}
+
+void TraceRecorder::complete(TraceCategory c, const char* name, Time ts,
+                             Time dur, std::int64_t pid, std::int64_t tid,
+                             std::initializer_list<TraceArg> args) {
+  if (!enabled(c)) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = c;
+  ev.ph = 'X';
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.pid = pid;
+  ev.tid = tid;
+  fill_args(ev, args);
+  push(ev);
+}
+
+void TraceRecorder::begin_span(TraceCategory c, const char* name, Time ts,
+                               std::int64_t pid, std::int64_t tid,
+                               std::initializer_list<TraceArg> args) {
+  if (!enabled(c)) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = c;
+  ev.ph = 'B';
+  ev.ts = ts;
+  ev.pid = pid;
+  ev.tid = tid;
+  fill_args(ev, args);
+  push(ev);
+}
+
+void TraceRecorder::end_span(TraceCategory c, const char* name, Time ts,
+                             std::int64_t pid, std::int64_t tid) {
+  if (!enabled(c)) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = c;
+  ev.ph = 'E';
+  ev.ts = ts;
+  ev.pid = pid;
+  ev.tid = tid;
+  push(ev);
+}
+
+namespace {
+
+/// Nanosecond Time as a microsecond decimal with 3 fixed fraction digits —
+/// Chrome's `ts` unit is microseconds; fixed-width formatting keeps dumps
+/// byte-identical across runs.
+void append_us(std::string& out, Time ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_json() const {
+  std::string out;
+  out.reserve(recorded() * 96 + 256);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  char buf[96];
+  for_each([&](const TraceEvent& ev) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": \"";
+    out += ev.name;
+    out += "\", \"cat\": \"";
+    out += trace_category_name(ev.cat);
+    out += "\", \"ph\": \"";
+    out += ev.ph;
+    out += "\", \"ts\": ";
+    append_us(out, ev.ts);
+    if (ev.ph == 'X') {
+      out += ", \"dur\": ";
+      append_us(out, ev.dur);
+    }
+    std::snprintf(buf, sizeof buf, ", \"pid\": %lld, \"tid\": %lld",
+                  static_cast<long long>(ev.pid),
+                  static_cast<long long>(ev.tid));
+    out += buf;
+    if (ev.n_args > 0) {
+      out += ", \"args\": {";
+      for (int i = 0; i < ev.n_args; ++i) {
+        if (i > 0) out += ", ";
+        std::snprintf(buf, sizeof buf, "\"%s\": %lld", ev.args[i].key,
+                      static_cast<long long>(ev.args[i].value));
+        out += buf;
+      }
+      out += "}";
+    }
+    out += "}";
+  });
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace paraleon::obs

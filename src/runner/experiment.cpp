@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <string_view>
 
 #include "check/digest.hpp"
@@ -9,6 +10,11 @@
 namespace paraleon::runner {
 
 Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
+  // Observability knobs first so construction-time registrations and the
+  // earliest events already see the final configuration.
+  sim_.obs().trace().configure(cfg_.obs.trace);
+  sim_.obs().profiler().set_enabled(cfg_.obs.profile_loop);
+
   // The scheme dictates the initial parameter setting.
   if (cfg_.scheme == Scheme::kCustomStatic) {
     cfg_.clos.dcqcn = cfg_.custom_params;
@@ -45,6 +51,36 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
 void Experiment::wire_scheme() {
   const Scheme s = cfg_.scheme;
 
+  // Data-plane measurement instruments, one set per attached ToR sketch.
+  const auto register_sketch = [this](int t, sketch::ElasticSketch* raw) {
+    obs::Registry& reg = sim_.obs().registry();
+    const std::string prefix = "sketch.tor." + std::to_string(t);
+    reg.gauge(prefix + ".insertions",
+              [raw] { return static_cast<double>(raw->insertions()); });
+    reg.gauge(prefix + ".evictions",
+              [raw] { return static_cast<double>(raw->evictions()); });
+    reg.gauge(prefix + ".ostracism_votes",
+              [raw] { return static_cast<double>(raw->ostracism_votes()); });
+  };
+  // Tuning-loop instruments, one set per controller.
+  const auto register_controller = [this](std::size_t i,
+                                          core::ParaleonController* c) {
+    obs::Registry& reg = sim_.obs().registry();
+    const std::string prefix = "controller." + std::to_string(i);
+    reg.gauge(prefix + ".sa.episodes",
+              [c] { return static_cast<double>(c->episodes()); });
+    reg.gauge(prefix + ".sa.reverts",
+              [c] { return static_cast<double>(c->reverts()); });
+    reg.gauge(prefix + ".sa.iterations", [c] {
+      return static_cast<double>(c->tuner().iterations_done());
+    });
+    reg.gauge(prefix + ".sa.active",
+              [c] { return c->tuning_active() ? 1.0 : 0.0; });
+    reg.gauge(prefix + ".mi_ticks", [c] {
+      return static_cast<double>(c->overheads().mi_ticks);
+    });
+  };
+
   if (s == Scheme::kParaleonPerPod) {
     // §V large-scale mode: one scoped controller per ToR pod, tuning only
     // its pod's RNICs and ToR; the shared spine keeps its static setting.
@@ -59,8 +95,10 @@ void Experiment::wire_scheme() {
       }
       controllers_.push_back(std::make_unique<core::ParaleonController>(
           &sim_, topo_.get(), ctrl));
+      register_controller(controllers_.size() - 1, controllers_.back().get());
       auto es = std::make_unique<sketch::ElasticSketch>(cfg_.sketch);
       sketch::ElasticSketch* raw = es.get();
+      register_sketch(t, raw);
       topo_->tor(t).attach_sketch(
           checker_ ? checker_->wrap_sketch(raw)
                    : static_cast<sim::SketchHook*>(raw));
@@ -114,6 +152,7 @@ void Experiment::wire_scheme() {
     controllers_.push_back(std::make_unique<core::ParaleonController>(
         &sim_, topo_.get(), ctrl));
     core::ParaleonController* controller = controllers_.back().get();
+    register_controller(controllers_.size() - 1, controller);
 
     if (s != Scheme::kParaleonNoFsd) {
       for (int t = 0; t < topo_->tor_count(); ++t) {
@@ -152,6 +191,7 @@ void Experiment::wire_scheme() {
           es_cfg.use_tos_marking = (s != Scheme::kParaleonNaiveSketch);
           auto es = std::make_unique<sketch::ElasticSketch>(es_cfg);
           sketch::ElasticSketch* raw = es.get();
+          register_sketch(t, raw);
           drain = [raw] {
             auto v = raw->heavy_flows();
             raw->reset();
@@ -198,6 +238,20 @@ void Experiment::wire_scheme() {
 
 void Experiment::schedule_probe() {
   const Time mi = cfg_.controller.mi;
+
+  if (cfg_.obs.counter_scrape_interval > 0) {
+    const Time iv = cfg_.obs.counter_scrape_interval;
+    // Immediate t=0 sample, then one per interval (same self-rescheduling
+    // ownership pattern as the probes below).
+    scrape_log_.record(sim_.now(), sim_.obs().registry());
+    probe_ticks_.push_back(std::make_unique<std::function<void()>>());
+    auto* tick = probe_ticks_.back().get();
+    *tick = [this, iv, tick] {
+      scrape_log_.record(sim_.now(), sim_.obs().registry());
+      sim_.schedule_in(iv, *tick, "obs.scrape");
+    };
+    sim_.schedule_at(iv, *tick, "obs.scrape");
+  }
 
   // A single full-scope controller already records the network-wide
   // series; schemes without one (static/ACC/DCQCN+) or with several
@@ -393,7 +447,70 @@ std::uint64_t run_digest(Experiment& exp) {
   add_series("tput", exp.throughput_series());
   add_series("rtt", exp.rtt_series());
   add_series("fsd", exp.fsd_accuracy_series());
+
+  // Observability surfaces are part of the deterministic contract: the
+  // counter registry, every retained trace event and the episode timelines
+  // must be pure functions of the seed too. (The loop profiler is
+  // wall-clock and deliberately absent.)
+  d.add("registry");
+  for (const auto& s : exp.simulator().obs().registry().snapshot()) {
+    d.add(s.name).add_double(s.value);
+  }
+  const auto& trec = exp.simulator().obs().trace();
+  d.add("trace").add_u64(trec.total());
+  trec.for_each([&d](const obs::TraceEvent& ev) {
+    d.add(ev.name).add_i64(ev.ts).add_i64(ev.pid).add_i64(ev.tid);
+    for (int i = 0; i < ev.n_args; ++i) {
+      d.add(ev.args[i].key).add_i64(ev.args[i].value);
+    }
+  });
+  d.add("episodes");
+  for (const auto& c : exp.controllers()) {
+    for (const auto& e : c->episode_log().episodes()) {
+      d.add(e.trigger).add_i64(e.start).add_i64(e.end);
+      d.add_double(e.kl_value).add_double(e.best_utility);
+      d.add_u64(e.reverted ? 1 : 0);
+      for (const auto& trial : e.trials) {
+        d.add_i64(trial.t).add_double(trial.utility);
+        d.add_u64(trial.accepted ? 1 : 0);
+      }
+    }
+  }
   return d.value();
+}
+
+RunMeta run_meta(const Experiment& exp) {
+  RunMeta m;
+  m.events_executed = exp.simulator().events_executed();
+  m.sim_seconds = static_cast<double>(exp.simulator().now()) / 1e9;
+  const obs::LoopProfiler& prof = exp.simulator().obs().profiler();
+  if (prof.events() > 0) {
+    m.wall_seconds = prof.wall_seconds();
+    m.events_per_sec = prof.events_per_sec();
+    m.profile_summary = prof.summary();
+  }
+  return m;
+}
+
+std::string obs_report_json(const Experiment& exp) {
+  const auto& o = exp.simulator().obs();
+  std::string out = "{\"registry\": ";
+  out += o.registry().to_json();
+  out += ", \"trace\": {\"total\": ";
+  out += std::to_string(o.trace().total());
+  out += ", \"recorded\": ";
+  out += std::to_string(o.trace().recorded());
+  out += ", \"dropped\": ";
+  out += std::to_string(o.trace().dropped());
+  out += "}, \"episodes\": [";
+  bool first = true;
+  for (const auto& c : exp.controllers()) {
+    if (!first) out += ", ";
+    first = false;
+    out += c->episode_log().to_json();
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace paraleon::runner

@@ -16,6 +16,7 @@
 #include "check/invariant_checker.hpp"
 #include "core/controller.hpp"
 #include "core/monitor.hpp"
+#include "obs/observability.hpp"
 #include "runner/scheme.hpp"
 #include "sim/topology.hpp"
 #include "sketch/elastic_sketch.hpp"
@@ -50,6 +51,9 @@ struct ExperimentConfig {
   /// Sketches are shadowed with exact counters; a violation throws
   /// check::CheckFailure out of run().
   check::InvariantConfig invariants{.level = check::CheckLevel::kOff};
+  /// Observability: trace categories, loop profiling, counter scraping.
+  /// Everything defaults off.
+  obs::ObsConfig obs;
 };
 
 class Experiment {
@@ -66,6 +70,7 @@ class Experiment {
   // ---- accessors ----
   const ExperimentConfig& config() const { return cfg_; }
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
   sim::ClosTopology& topology() { return *topo_; }
   /// Null unless config().invariants.level != kOff.
   check::InvariantChecker* invariant_checker() { return checker_.get(); }
@@ -112,6 +117,10 @@ class Experiment {
   /// All per-hop host hosts convenience: ids 0..host_count-1.
   std::vector<int> all_hosts() const;
 
+  /// Per-interval registry scrapes (empty unless
+  /// config().obs.counter_scrape_interval > 0).
+  const obs::ScrapeLog& counter_scrapes() const { return scrape_log_; }
+
  private:
   void start_flow(const workload::FlowSpec& spec);
   void wire_scheme();
@@ -144,6 +153,7 @@ class Experiment {
   stats::TimeSeries probe_rtt_;
   mutable stats::TimeSeries merged_rtt_;  // per-pod RTT view, built lazily
   stats::TimeSeries accuracy_series_;
+  obs::ScrapeLog scrape_log_;
 };
 
 /// Order-stable FNV-1a digest over every observable telemetry surface of a
@@ -153,5 +163,25 @@ class Experiment {
 /// same-seed runs must produce the same value byte-for-byte; the
 /// determinism regression test enforces exactly that.
 std::uint64_t run_digest(Experiment& exp);
+
+/// Nondeterministic run metadata: wall-clock loop-profiling results
+/// alongside the simulated-time facts they normalise against. Reported next
+/// to a run's results; NEVER fed into run_digest or the counter dump (the
+/// determinism tests would fail if it were).
+struct RunMeta {
+  std::uint64_t events_executed = 0;
+  double sim_seconds = 0.0;
+  /// Wall-clock totals; 0 unless config().obs.profile_loop was set.
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  /// Human-readable per-event-type latency histogram ("" when unprofiled).
+  std::string profile_summary;
+};
+RunMeta run_meta(const Experiment& exp);
+
+/// One deterministic JSON document per run: the full counter registry,
+/// trace-recorder totals and every controller's tuning-episode timeline.
+/// Identical seeds yield byte-identical output.
+std::string obs_report_json(const Experiment& exp);
 
 }  // namespace paraleon::runner

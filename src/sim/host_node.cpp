@@ -1,6 +1,7 @@
 #include "sim/host_node.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "check/check.hpp"
 
@@ -14,7 +15,30 @@ constexpr int kMaxPerQpNicBacklog = 2;
 }  // namespace
 
 HostNode::HostNode(Simulator* sim, NodeId id, dcqcn::DcqcnParams rnic_params)
-    : Node(id, /*is_switch=*/false), sim_(sim), params_(rnic_params) {}
+    : Node(id, /*is_switch=*/false), sim_(sim), params_(rnic_params) {
+  obs::Registry& reg = sim_->obs().registry();
+  const std::string prefix = "host." + std::to_string(id);
+  cnps_sent_ = reg.counter(prefix + ".cnp.sent");
+  cnps_received_ = reg.counter(prefix + ".cnp.received");
+  cnps_suppressed_ = reg.counter(prefix + ".cnp.suppressed");
+  rx_data_bytes_ = reg.counter(prefix + ".rx_data_bytes");
+  reg.gauge(prefix + ".rp.cuts",
+            [this] { return static_cast<double>(rp_counters_.cuts); });
+  reg.gauge(prefix + ".rp.fast_recovery", [this] {
+    return static_cast<double>(rp_counters_.fast_recovery);
+  });
+  reg.gauge(prefix + ".rp.additive_increase", [this] {
+    return static_cast<double>(rp_counters_.additive_increase);
+  });
+  reg.gauge(prefix + ".rp.hyper_increase", [this] {
+    return static_cast<double>(rp_counters_.hyper_increase);
+  });
+  reg.gauge(prefix + ".rp.alpha_updates", [this] {
+    return static_cast<double>(rp_counters_.alpha_updates);
+  });
+  reg.gauge(prefix + ".active_tx_flows",
+            [this] { return static_cast<double>(tx_flows_.size()); });
+}
 
 void HostNode::attach_uplink(Node* tor, int tor_port, Rate rate,
                              Time prop_delay) {
@@ -23,6 +47,18 @@ void HostNode::attach_uplink(Node* tor, int tor_port, Rate rate,
   uplink_->on_dequeue = [this](const NetDevice::Queued& item) {
     on_nic_dequeue(item);
   };
+  obs::Registry& reg = sim_->obs().registry();
+  const std::string prefix = "host." + std::to_string(id()) + ".uplink";
+  NetDevice* dev = uplink_.get();
+  reg.gauge(prefix + ".tx_data_bytes",
+            [dev] { return static_cast<double>(dev->tx_data_bytes()); });
+  reg.gauge(prefix + ".queue_bytes",
+            [dev] { return static_cast<double>(dev->data_queue_bytes()); });
+  reg.gauge(prefix + ".paused_ns",
+            [dev] { return static_cast<double>(dev->paused_time()); });
+  reg.gauge(prefix + ".pfc.pauses_received", [dev] {
+    return static_cast<double>(dev->pause_frames_received());
+  });
 }
 
 void HostNode::start_flow(std::uint64_t flow_id, NodeId dst,
@@ -31,7 +67,7 @@ void HostNode::start_flow(std::uint64_t flow_id, NodeId dst,
   PARALEON_CHECK(size_bytes > 0, "host ", id(), ": flow ", flow_id,
                  " has non-positive size ", size_bytes);
   auto [it, inserted] = tx_flows_.try_emplace(
-      flow_id, &params_, uplink_->rate(), sim_->now());
+      flow_id, &params_, uplink_->rate(), sim_->now(), &rp_counters_);
   PARALEON_CHECK(inserted, "host ", id(), ": flow_id ", flow_id, " reused");
   FlowTx& f = it->second;
   f.dst = dst;
@@ -56,12 +92,15 @@ void HostNode::try_send(std::uint64_t flow_id) {
     if (now < f.next_time) {
       if (!f.wait_scheduled) {
         f.wait_scheduled = true;
-        sim_->schedule_at(f.next_time, [this, flow_id] {
-          auto it2 = tx_flows_.find(flow_id);
-          if (it2 == tx_flows_.end()) return;
-          it2->second.wait_scheduled = false;
-          try_send(flow_id);
-        });
+        sim_->schedule_at(
+            f.next_time,
+            [this, flow_id] {
+              auto it2 = tx_flows_.find(flow_id);
+              if (it2 == tx_flows_.end()) return;
+              it2->second.wait_scheduled = false;
+              try_send(flow_id);
+            },
+            "host.pacing");
       }
       return;
     }
@@ -94,15 +133,18 @@ void HostNode::try_send(std::uint64_t flow_id) {
 void HostNode::schedule_rp_timer(std::uint64_t flow_id, FlowTx& f) {
   const std::uint64_t gen = ++f.rp_gen;
   const Time t = std::max(f.rp.next_deadline(), sim_->now());
-  sim_->schedule_at(t, [this, flow_id, gen] {
-    auto it = tx_flows_.find(flow_id);
-    if (it == tx_flows_.end() || it->second.rp_gen != gen) return;
-    it->second.rp.advance_to(sim_->now());
-    schedule_rp_timer(flow_id, it->second);
-    // A rate increase may allow an earlier injection than the gap computed
-    // with the old rate; keep it simple and let the existing pacing stand —
-    // the new rate applies from the next packet.
-  });
+  sim_->schedule_at(
+      t,
+      [this, flow_id, gen] {
+        auto it = tx_flows_.find(flow_id);
+        if (it == tx_flows_.end() || it->second.rp_gen != gen) return;
+        it->second.rp.advance_to(sim_->now());
+        schedule_rp_timer(flow_id, it->second);
+        // A rate increase may allow an earlier injection than the gap
+        // computed with the old rate; keep it simple and let the existing
+        // pacing stand — the new rate applies from the next packet.
+      },
+      "host.rp_timer");
 }
 
 void HostNode::on_nic_dequeue(const NetDevice::Queued& item) {
@@ -154,6 +196,7 @@ void HostNode::receive(const Packet& pkt, int in_port) {
 }
 
 void HostNode::handle_data(const Packet& pkt) {
+  rx_data_bytes_.add(pkt.size_bytes);
   FlowRx& rx = rx_flows_[pkt.flow_id];
   if (rx.total == 0) rx.total = pkt.aux;
   rx.received += pkt.size_bytes;
@@ -180,10 +223,12 @@ void HostNode::handle_data(const Packet& pkt) {
       cnp_gap = adaptive_interval;
     }
     if (rx.np.try_emit(sim_->now(), cnp_gap)) {
-      ++cnps_sent_;
+      cnps_sent_.inc();
       Packet cnp = make_cnp(pkt, sim_->now());
       cnp.aux = adaptive_interval;  // 0 unless DCQCN+ is active
       uplink_->enqueue(cnp, -1);
+    } else {
+      cnps_suppressed_.inc();
     }
   }
 
@@ -211,7 +256,7 @@ void HostNode::handle_ack(const Packet& pkt) {
 }
 
 void HostNode::handle_cnp(const Packet& pkt) {
-  ++cnps_received_;
+  cnps_received_.inc();
   if (dcqcn_plus_ && pkt.aux > 0) {
     // DCQCN+ RP reaction: the CNP carries the NP's adaptive interval;
     // stretch the increase timer and shrink the AI step by the same
@@ -230,6 +275,16 @@ void HostNode::handle_cnp(const Packet& pkt) {
   auto it = tx_flows_.find(pkt.flow_id);
   if (it == tx_flows_.end()) return;  // flow already fully injected
   if (it->second.rp.on_cnp(sim_->now())) {
+    obs::TraceRecorder& tr = sim_->obs().trace();
+    if (tr.enabled(obs::TraceCategory::kRp)) {
+      tr.instant(
+          obs::TraceCategory::kRp, "rp.cut", sim_->now(), id(), 0,
+          {{"flow", static_cast<std::int64_t>(pkt.flow_id)},
+           {"rate_mbps",
+            static_cast<std::int64_t>(it->second.rp.current_rate() / 1e6)},
+           {"alpha_milli",
+            static_cast<std::int64_t>(it->second.rp.alpha() * 1000.0)}});
+    }
     // Deadlines moved; re-arm the timer event.
     schedule_rp_timer(pkt.flow_id, it->second);
   }

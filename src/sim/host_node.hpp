@@ -17,6 +17,7 @@
 #include "common/time.hpp"
 #include "dcqcn/params.hpp"
 #include "dcqcn/rp.hpp"
+#include "obs/counters.hpp"
 #include "sim/net_device.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
@@ -74,8 +75,18 @@ class HostNode : public Node {
   std::pair<double, std::uint64_t> drain_rtt_norm_samples();
   /// (sum of raw rtt in ns, count) since last drain.
   std::pair<double, std::uint64_t> drain_rtt_raw_samples();
-  std::uint64_t cnps_sent() const { return cnps_sent_; }
-  std::uint64_t cnps_received() const { return cnps_received_; }
+  std::uint64_t cnps_sent() const {
+    return static_cast<std::uint64_t>(cnps_sent_.value());
+  }
+  std::uint64_t cnps_received() const {
+    return static_cast<std::uint64_t>(cnps_received_.value());
+  }
+  /// ECN-marked arrivals whose CNP the NP pacing window swallowed.
+  std::uint64_t cnps_suppressed() const {
+    return static_cast<std::uint64_t>(cnps_suppressed_.value());
+  }
+  /// Host-aggregate DCQCN RP stage counts (shared by all of this host's QPs).
+  const dcqcn::RpCounters& rp_counters() const { return rp_counters_; }
 
   void set_on_flow_complete(FlowCompleteFn fn) { on_complete_ = std::move(fn); }
   void set_base_rtt_fn(BaseRttFn fn) { base_rtt_ = std::move(fn); }
@@ -102,8 +113,9 @@ class HostNode : public Node {
     Time next_time = 0;      // earliest next injection per the paced rate
     std::uint64_t rp_gen = 0;
     dcqcn::RpState rp;
-    FlowTx(const dcqcn::DcqcnParams* p, Rate line, Time now)
-        : rp(p, line, now) {}
+    FlowTx(const dcqcn::DcqcnParams* p, Rate line, Time now,
+           dcqcn::RpCounters* counters)
+        : rp(p, line, now, counters) {}
   };
   struct FlowRx {
     std::int64_t total = 0;
@@ -136,8 +148,14 @@ class HostNode : public Node {
   std::uint64_t mi_rtt_norm_count_ = 0;
   double mi_rtt_raw_sum_ = 0.0;
   std::uint64_t mi_rtt_raw_count_ = 0;
-  std::uint64_t cnps_sent_ = 0;
-  std::uint64_t cnps_received_ = 0;
+  // Registry-owned counters ("host.<id>.…"); accessors read the handles.
+  obs::Counter cnps_sent_;
+  obs::Counter cnps_received_;
+  obs::Counter cnps_suppressed_;
+  obs::Counter rx_data_bytes_;
+  // Aggregated per-host RP stage counts; every QP's RpState bumps this one
+  // instance (per-QP instruments would not scale), surfaced as gauges.
+  dcqcn::RpCounters rp_counters_;
 
   FlowCompleteFn on_complete_;
   BaseRttFn base_rtt_;

@@ -30,20 +30,37 @@ bool NetDevice::data_paused() const { return sim_->now() < pause_until_; }
 void NetDevice::pause_data(Time duration) {
   const Time now = sim_->now();
   const Time until = now + duration;
+  ++pause_frames_rx_;
   if (!data_paused()) {
     pause_start_ = now;
     ++pause_events_;
+    obs::TraceRecorder& tr = sim_->obs().trace();
+    if (tr.enabled(obs::TraceCategory::kPfc)) {
+      // The span lives on the downstream node's (peer, port) track: that is
+      // the queue whose egress the pause throttles.
+      tr.begin_span(obs::TraceCategory::kPfc, "pfc.pause", now, peer_->id(),
+                    peer_port_,
+                    {{"duration_ns", static_cast<std::int64_t>(duration)}});
+    }
   }
   pause_until_ = std::max(pause_until_, until);
   // Wake the transmitter when the pause lapses; the generation counter
   // voids stale kicks when the pause is extended or cancelled early.
   const std::uint64_t gen = ++kick_generation_;
-  sim_->schedule_at(pause_until_, [this, gen] {
-    if (gen == kick_generation_) {
-      paused_accum_ += sim_->now() - pause_start_;
-      try_transmit();
-    }
-  });
+  sim_->schedule_at(
+      pause_until_,
+      [this, gen] {
+        if (gen == kick_generation_) {
+          paused_accum_ += sim_->now() - pause_start_;
+          obs::TraceRecorder& tr = sim_->obs().trace();
+          if (tr.enabled(obs::TraceCategory::kPfc)) {
+            tr.end_span(obs::TraceCategory::kPfc, "pfc.pause", sim_->now(),
+                        peer_->id(), peer_port_);
+          }
+          try_transmit();
+        }
+      },
+      "net.pause_kick");
 }
 
 void NetDevice::resume_data() {
@@ -51,6 +68,11 @@ void NetDevice::resume_data() {
   paused_accum_ += sim_->now() - pause_start_;
   pause_until_ = sim_->now();
   ++kick_generation_;  // void the pending auto-resume kick
+  obs::TraceRecorder& tr = sim_->obs().trace();
+  if (tr.enabled(obs::TraceCategory::kPfc)) {
+    tr.end_span(obs::TraceCategory::kPfc, "pfc.pause", sim_->now(),
+                peer_->id(), peer_port_);
+  }
   try_transmit();
 }
 
@@ -76,9 +98,12 @@ void NetDevice::try_transmit() {
   }
   busy_ = true;
   const Time ser = serialization_time(item.pkt.size_bytes, rate_);
-  sim_->schedule_in(ser, [this, item = std::move(item)]() mutable {
-    finish_transmit(std::move(item));
-  });
+  sim_->schedule_in(
+      ser,
+      [this, item = std::move(item)]() mutable {
+        finish_transmit(std::move(item));
+      },
+      "net.serialize");
 }
 
 void NetDevice::finish_transmit(Queued item) {
@@ -88,14 +113,23 @@ void NetDevice::finish_transmit(Queued item) {
   } else {
     tx_data_bytes_ += item.pkt.size_bytes;
     ++tx_data_packets_;
+    obs::TraceRecorder& tr = sim_->obs().trace();
+    if (tr.enabled(obs::TraceCategory::kPacket)) {
+      tr.instant(obs::TraceCategory::kPacket, "pkt.tx", sim_->now(),
+                 peer_->id(), peer_port_,
+                 {{"flow", static_cast<std::int64_t>(item.pkt.flow_id)},
+                  {"bytes", static_cast<std::int64_t>(item.pkt.size_bytes)},
+                  {"ecn", item.pkt.ecn_ce ? 1 : 0}});
+    }
   }
   if (on_dequeue) on_dequeue(item);
   Packet pkt = item.pkt;
   if (pkt.ttl > 0) --pkt.ttl;
   Node* peer = peer_;
   const int port = peer_port_;
-  sim_->schedule_in(prop_delay_,
-                    [peer, port, pkt] { peer->receive(pkt, port); });
+  sim_->schedule_in(
+      prop_delay_, [peer, port, pkt] { peer->receive(pkt, port); },
+      "net.propagate");
   try_transmit();
 }
 

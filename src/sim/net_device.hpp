@@ -61,6 +61,9 @@ class NetDevice {
   /// open pause span up to now().
   Time paused_time() const;
   std::uint64_t pause_events() const { return pause_events_; }
+  /// XOFF frames honoured (every pause_data call, including refreshes of
+  /// an already-open pause) — the "PFC pauses received" counter.
+  std::uint64_t pause_frames_received() const { return pause_frames_rx_; }
 
   /// Invoked when a packet finishes serialising (leaves the buffer).
   std::function<void(const Queued&)> on_dequeue;
@@ -85,6 +88,7 @@ class NetDevice {
   Time pause_start_ = 0;
   Time paused_accum_ = 0;
   std::uint64_t pause_events_ = 0;
+  std::uint64_t pause_frames_rx_ = 0;
   std::uint64_t kick_generation_ = 0;
 
   std::int64_t tx_data_bytes_ = 0;

@@ -1,23 +1,56 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
+
 #include "check/check.hpp"
 
 namespace paraleon::sim {
 
-void Simulator::schedule_at(Time t, Callback cb) {
+Simulator::Simulator() : obs_(std::make_unique<obs::Observability>()) {
+  // The engine registers its own observables like every other layer.
+  obs::Registry& reg = obs_->registry();
+  reg.gauge("sim.events_executed",
+            [this] { return static_cast<double>(executed_); });
+  reg.gauge("sim.event_queue_depth",
+            [this] { return static_cast<double>(queue_.size()); });
+  reg.gauge("sim.now_ms", [this] { return to_ms(now_); });
+}
+
+void Simulator::schedule_at(Time t, Callback cb, const char* tag) {
   PARALEON_CHECK(t >= now_, "cannot schedule into the past: t=", t,
                  " now=", now_);
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  const std::uint64_t seq = next_seq_++;
+  if (tag != nullptr && obs_->profiler().enabled()) {
+    event_tags_.emplace(seq, tag);
+  }
+  queue_.push(Event{t, seq, std::move(cb)});
 }
 
 void Simulator::run_until(Time t) {
+  // Profiling is toggled between runs, never inside one — hoist the test.
+  const bool profiled = obs_->profiler().enabled();
   while (!queue_.empty() && queue_.top().t <= t) {
     // Move the callback out before popping so it may schedule new events.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.t;
     ++executed_;
-    ev.cb();
+    if (profiled) {
+      const char* tag = nullptr;
+      const auto it = event_tags_.find(ev.seq);
+      if (it != event_tags_.end()) {
+        tag = it->second;
+        event_tags_.erase(it);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      ev.cb();
+      const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      obs_->profiler().record(tag, wall);
+    } else {
+      ev.cb();
+    }
     if (post_event_) post_event_(now_);
   }
   if (t != kTimeNever && now_ < t) now_ = t;

@@ -3,14 +3,22 @@
 // Events are (time, sequence, closure) triples in a binary heap; the
 // sequence number makes same-timestamp events fire in scheduling order, so
 // a run is a pure function of its seed.
+//
+// The simulator also owns the run's observability context (counter
+// registry, trace recorder, loop profiler): every component already holds
+// a `Simulator*`, which makes `sim->obs()` the natural registration and
+// emission point without further plumbing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/observability.hpp"
 
 namespace paraleon::sim {
 
@@ -18,14 +26,20 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
+  Simulator();
+
   Time now() const { return now_; }
   std::uint64_t events_executed() const { return executed_; }
+  std::size_t queue_depth() const { return queue_.size(); }
 
-  /// Schedules `cb` at absolute time `t` (>= now).
-  void schedule_at(Time t, Callback cb);
+  /// Schedules `cb` at absolute time `t` (>= now). `tag` must be a string
+  /// literal (or nullptr); it labels the event in the loop profiler.
+  void schedule_at(Time t, Callback cb, const char* tag = nullptr);
 
   /// Schedules `cb` `delta` nanoseconds from now.
-  void schedule_in(Time delta, Callback cb) { schedule_at(now_ + delta, std::move(cb)); }
+  void schedule_in(Time delta, Callback cb, const char* tag = nullptr) {
+    schedule_at(now_ + delta, std::move(cb), tag);
+  }
 
   /// Runs events until the queue is empty or the clock would pass `t`;
   /// afterwards now() == t (unless the queue emptied earlier and `t` is
@@ -37,6 +51,11 @@ class Simulator {
 
   bool empty() const { return queue_.empty(); }
 
+  /// The run's observability context (stable address for the simulator's
+  /// lifetime; counter handles and gauges registered here survive moves).
+  obs::Observability& obs() { return *obs_; }
+  const obs::Observability& obs() const { return *obs_; }
+
   /// Installs a hook invoked after every executed event with the event
   /// clock — the attachment point of the invariant checker. Null (the
   /// default) costs one predictable branch per event; pass nullptr to
@@ -46,6 +65,10 @@ class Simulator {
   }
 
  private:
+  // Tags deliberately do NOT live in Event: the heap is the engine's hot
+  // path and every byte of Event is moved O(log n) times per schedule, so
+  // an unprofiled run must not carry profiling payload. Tags go into a
+  // side map keyed by seq, populated only while the profiler is enabled.
   struct Event {
     Time t;
     std::uint64_t seq;
@@ -62,6 +85,8 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::function<void(Time)> post_event_;
+  std::unique_ptr<obs::Observability> obs_;
+  std::unordered_map<std::uint64_t, const char*> event_tags_;
 };
 
 }  // namespace paraleon::sim

@@ -1,6 +1,7 @@
 #include "sim/switch_node.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "check/check.hpp"
 
@@ -22,7 +23,15 @@ SwitchNode::SwitchNode(Simulator* sim, NodeId id, SwitchConfig cfg,
       sim_(sim),
       cfg_(cfg),
       ecmp_salt_(ecmp_salt),
-      mark_stream_(mix(ecmp_salt ^ 0xA5A5A5A5A5A5A5A5ull)) {}
+      mark_stream_(mix(ecmp_salt ^ 0xA5A5A5A5A5A5A5A5ull)) {
+  obs::Registry& reg = sim_->obs().registry();
+  const std::string prefix = "switch." + std::to_string(id);
+  drops_ = reg.counter(prefix + ".mmu.drops");
+  ecn_marks_ = reg.counter(prefix + ".ecn.marks");
+  pfc_sent_count_ = reg.counter(prefix + ".pfc.pauses_sent");
+  reg.gauge(prefix + ".mmu.buffer_used",
+            [this] { return static_cast<double>(used_); });
+}
 
 int SwitchNode::add_port(Node* peer, int peer_port, Rate rate,
                          Time prop_delay) {
@@ -33,8 +42,26 @@ int SwitchNode::add_port(Node* peer, int peer_port, Rate rate,
     account_dequeue(item);
   };
   ingress_bytes_.push_back(0);
+  rx_data_bytes_.push_back(0);
   pause_sent_.push_back(false);
   last_pause_sent_.push_back(-kTimeNever / 2);
+
+  obs::Registry& reg = sim_->obs().registry();
+  const std::string prefix =
+      "switch." + std::to_string(id()) + ".port." + std::to_string(idx);
+  NetDevice* dev = ports_.back().get();
+  reg.gauge(prefix + ".tx_data_bytes",
+            [dev] { return static_cast<double>(dev->tx_data_bytes()); });
+  reg.gauge(prefix + ".rx_data_bytes", [this, idx] {
+    return static_cast<double>(rx_data_bytes_[idx]);
+  });
+  reg.gauge(prefix + ".queue_bytes",
+            [dev] { return static_cast<double>(dev->data_queue_bytes()); });
+  reg.gauge(prefix + ".paused_ns",
+            [dev] { return static_cast<double>(dev->paused_time()); });
+  reg.gauge(prefix + ".pfc.pauses_received", [dev] {
+    return static_cast<double>(dev->pause_frames_received());
+  });
   return idx;
 }
 
@@ -78,8 +105,17 @@ void SwitchNode::receive(const Packet& pkt, int in_port) {
 }
 
 void SwitchNode::admit_data(Packet pkt, int in_port) {
+  rx_data_bytes_[in_port] += pkt.size_bytes;
   if (used_ + pkt.size_bytes > cfg_.buffer_bytes) {
-    ++drops_;  // lossless fabrics should never get here; counted, not hidden
+    drops_.inc();  // lossless fabrics should never get here; counted, not hidden
+    obs::TraceRecorder& tr = sim_->obs().trace();
+    if (tr.enabled(obs::TraceCategory::kPacket)) {
+      tr.instant(obs::TraceCategory::kPacket, "mmu.drop", sim_->now(), id(),
+                 in_port,
+                 {{"flow", static_cast<std::int64_t>(pkt.flow_id)},
+                  {"bytes", static_cast<std::int64_t>(pkt.size_bytes)},
+                  {"buffer_used", used_}});
+    }
     return;
   }
   used_ += pkt.size_bytes;
@@ -124,7 +160,13 @@ void SwitchNode::maybe_mark_ecn(Packet& pkt, const NetDevice& egress) {
       static_cast<double>(mark_stream_ >> 11) * 0x1.0p-53;  // [0,1)
   if (u < p) {
     pkt.ecn_ce = true;
-    ++ecn_marks_;
+    ecn_marks_.inc();
+    obs::TraceRecorder& tr = sim_->obs().trace();
+    if (tr.enabled(obs::TraceCategory::kPacket)) {
+      tr.instant(obs::TraceCategory::kPacket, "ecn.mark", sim_->now(), id(), 0,
+                 {{"flow", static_cast<std::int64_t>(pkt.flow_id)},
+                  {"queue_bytes", q}});
+    }
   }
 }
 
@@ -146,7 +188,13 @@ void SwitchNode::check_pfc_xoff(int in_port) {
   }
   pause_sent_[in_port] = true;
   last_pause_sent_[in_port] = sim_->now();
-  ++pfc_sent_count_;
+  pfc_sent_count_.inc();
+  obs::TraceRecorder& tr = sim_->obs().trace();
+  if (tr.enabled(obs::TraceCategory::kPfc)) {
+    tr.instant(obs::TraceCategory::kPfc, "pfc.xoff_tx", sim_->now(), id(),
+               in_port, {{"ingress_bytes", ingress_bytes_[in_port]},
+                         {"threshold", xoff_threshold()}});
+  }
   ports_[in_port]->enqueue(
       make_pfc(PacketType::kPfcPause, cfg_.pfc_pause_duration), -1);
   ensure_pause_scan();
@@ -159,7 +207,8 @@ void SwitchNode::ensure_pause_scan() {
   // the same: watermark-driven pause frames are re-emitted continuously.
   if (pause_scan_active_) return;
   pause_scan_active_ = true;
-  sim_->schedule_in(cfg_.pfc_pause_duration / 2, [this] { pause_scan(); });
+  sim_->schedule_in(cfg_.pfc_pause_duration / 2, [this] { pause_scan(); },
+                    "switch.pause_scan");
 }
 
 void SwitchNode::pause_scan() {
@@ -181,7 +230,8 @@ void SwitchNode::pause_scan() {
     }
   }
   if (any) {
-    sim_->schedule_in(cfg_.pfc_pause_duration / 2, [this] { pause_scan(); });
+    sim_->schedule_in(cfg_.pfc_pause_duration / 2, [this] { pause_scan(); },
+                      "switch.pause_scan");
   } else {
     pause_scan_active_ = false;
   }

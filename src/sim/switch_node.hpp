@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/counters.hpp"
 #include "sim/net_device.hpp"
 #include "sim/node.hpp"
 #include "sim/sketch_hook.hpp"
@@ -65,9 +66,16 @@ class SwitchNode : public Node {
   const NetDevice& port(int i) const { return *ports_[i]; }
   std::int64_t buffer_used() const { return used_; }
   std::int64_t ingress_bytes(int port) const { return ingress_bytes_[port]; }
-  std::uint64_t drops() const { return drops_; }
-  std::uint64_t ecn_marks() const { return ecn_marks_; }
-  std::uint64_t pfc_pauses_sent() const { return pfc_sent_count_; }
+  std::int64_t rx_data_bytes(int port) const { return rx_data_bytes_[port]; }
+  std::uint64_t drops() const {
+    return static_cast<std::uint64_t>(drops_.value());
+  }
+  std::uint64_t ecn_marks() const {
+    return static_cast<std::uint64_t>(ecn_marks_.value());
+  }
+  std::uint64_t pfc_pauses_sent() const {
+    return static_cast<std::uint64_t>(pfc_sent_count_.value());
+  }
   /// Whether a PFC pause towards the upstream on `port` is latched (an XOFF
   /// was sent and no resume yet) — the invariant checker's pairing input.
   bool pfc_pause_latched(int port) const { return pause_sent_[port]; }
@@ -102,12 +110,15 @@ class SwitchNode : public Node {
 
   std::int64_t used_ = 0;
   std::vector<std::int64_t> ingress_bytes_;
+  std::vector<std::int64_t> rx_data_bytes_;
   std::vector<bool> pause_sent_;
   std::vector<Time> last_pause_sent_;
   bool pause_scan_active_ = false;
-  std::uint64_t drops_ = 0;
-  std::uint64_t ecn_marks_ = 0;
-  std::uint64_t pfc_sent_count_ = 0;
+  // Registry-owned counters ("switch.<id>.…"); the accessors above read
+  // through the handles so existing callers keep working.
+  obs::Counter drops_;
+  obs::Counter ecn_marks_;
+  obs::Counter pfc_sent_count_;
   SketchHook* sketch_ = nullptr;
 
   // Deterministic ECN marking: a dedicated per-switch counter-free hash

@@ -1,12 +1,19 @@
 // Queue-depth telemetry: periodic sampling of egress data-queue depths,
 // for queue-dynamics analysis (the mechanism behind the ECN-threshold
 // figures) and for validating MMU behaviour in tests.
+//
+// Implemented over the observability layer: each watched device becomes a
+// registry gauge ("telemetry.queue.<label>") and sampling is a filtered
+// ScrapeLog over those gauges — the same mechanism any other per-interval
+// counter series uses.
 #pragma once
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/time.hpp"
+#include "obs/counters.hpp"
 #include "sim/net_device.hpp"
 #include "sim/simulator.hpp"
 #include "stats/timeseries.hpp"
@@ -18,51 +25,68 @@ class QueueTelemetry {
   QueueTelemetry(Simulator* sim, Time interval)
       : sim_(sim), interval_(interval) {}
 
-  /// Registers a device to sample. Call before start().
+  /// Registers a device to sample. Call before start(). The device also
+  /// becomes visible to every registry consumer (dumps, scrapes) as the
+  /// gauge "telemetry.queue.<label>".
   void watch(const std::string& label, const NetDevice* dev) {
-    watched_[label] = dev;
+    const std::string name = "telemetry.queue." + label;
+    sim_->obs().registry().gauge(
+        name, [dev] { return static_cast<double>(dev->data_queue_bytes()); });
+    names_[label] = name;
+    filter_.push_back(name);
   }
 
-  /// Samples every `interval` until `until` (bounded so simulations that
-  /// run the queue dry still terminate).
+  /// Samples immediately (so runs shorter than one interval still record
+  /// the t=0 state) and then every `interval` until `until` (bounded so
+  /// simulations that run the queue dry still terminate).
   void start(Time until) {
     until_ = until;
-    sim_->schedule_in(interval_, [this] { sample(); });
+    log_.set_filter(filter_);
+    sample();
   }
 
   const stats::TimeSeries& series(const std::string& label) const {
     static const stats::TimeSeries kEmpty;
-    const auto it = series_.find(label);
-    return it == series_.end() ? kEmpty : it->second;
+    const auto it = names_.find(label);
+    return it == names_.end() ? kEmpty : log_.series(it->second);
+  }
+
+  struct Peak {
+    double depth_bytes = 0.0;
+    Time at = 0;
+  };
+  /// Peak sampled depth and the time it was observed. Computed in double —
+  /// per-point integer truncation would understate fractional gauges.
+  Peak peak(const std::string& label) const {
+    Peak out;
+    for (const auto& p : series(label).points()) {
+      if (p.value > out.depth_bytes) {
+        out.depth_bytes = p.value;
+        out.at = p.t;
+      }
+    }
+    return out;
   }
 
   /// Peak sampled depth in bytes (0 if never sampled).
-  std::int64_t max_depth(const std::string& label) const {
-    std::int64_t peak = 0;
-    const auto it = series_.find(label);
-    if (it == series_.end()) return 0;
-    for (const auto& p : it->second.points()) {
-      peak = std::max<std::int64_t>(peak, static_cast<std::int64_t>(p.value));
-    }
-    return peak;
+  double max_depth(const std::string& label) const {
+    return peak(label).depth_bytes;
   }
 
  private:
   void sample() {
-    for (const auto& [label, dev] : watched_) {
-      series_[label].add(sim_->now(),
-                         static_cast<double>(dev->data_queue_bytes()));
-    }
+    log_.record(sim_->now(), sim_->obs().registry());
     if (sim_->now() + interval_ <= until_) {
-      sim_->schedule_in(interval_, [this] { sample(); });
+      sim_->schedule_in(interval_, [this] { sample(); }, "telemetry.sample");
     }
   }
 
   Simulator* sim_;
   Time interval_;
   Time until_ = 0;
-  std::map<std::string, const NetDevice*> watched_;
-  std::map<std::string, stats::TimeSeries> series_;
+  std::map<std::string, std::string> names_;  // label -> gauge name
+  std::vector<std::string> filter_;
+  obs::ScrapeLog log_;
 };
 
 }  // namespace paraleon::sim

@@ -48,6 +48,7 @@ void ElasticSketch::insert(std::uint64_t flow_id, std::int64_t bytes) {
     return;
   }
   b.vote_neg += bytes;
+  ++ostracism_votes_;
   if (static_cast<double>(b.vote_neg) >=
       cfg_.lambda * static_cast<double>(b.vote_pos)) {
     // Ostracism: the resident flow has been outvoted — demote it to the

@@ -71,6 +71,9 @@ class ElasticSketch final : public sim::SketchHook {
 
   std::uint64_t insertions() const { return insertions_; }
   std::uint64_t evictions() const { return evictions_; }
+  /// Collision packets that voted against a resident flow (whether or not
+  /// the vote triggered an eviction) — the ostracism pressure gauge.
+  std::uint64_t ostracism_votes() const { return ostracism_votes_; }
   const ElasticSketchConfig& config() const { return cfg_; }
 
  private:
@@ -92,6 +95,7 @@ class ElasticSketch final : public sim::SketchHook {
   std::vector<std::int64_t> light_;
   std::uint64_t insertions_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t ostracism_votes_ = 0;
   std::function<void()> reset_hook_;
 };
 

@@ -70,9 +70,10 @@ TEST(DcqcnBehaviour, EcnThresholdsBoundQueueDepth) {
     topo.host(src).start_flow(static_cast<std::uint64_t>(src), 0, 64 << 20);
   }
   sim.run_until(milliseconds(50));
-  const std::int64_t peak = telemetry.max_depth("bottleneck");
-  EXPECT_GT(peak, 10 << 10);            // congestion actually built up
-  EXPECT_LT(peak, naive_cap());         // and ECN kept it bounded
+  const QueueTelemetry::Peak peak = telemetry.peak("bottleneck");
+  EXPECT_GT(peak.depth_bytes, 10 << 10);  // congestion actually built up
+  EXPECT_LT(peak.depth_bytes, naive_cap());  // and ECN kept it bounded
+  EXPECT_GT(peak.at, 0);  // the peak was not the immediate t=0 sample
 }
 
 TEST(DcqcnBehaviour, HigherKmaxDeeperQueues) {
@@ -142,8 +143,22 @@ TEST(QueueTelemetrySampling, SamplesAtInterval) {
   telemetry.watch("p0", &topo.tor(0).port(0));
   telemetry.start(milliseconds(10));
   sim.run_until(milliseconds(12));
-  EXPECT_EQ(telemetry.series("p0").points().size(), 10u);
+  // Immediate t=0 sample plus one per interval through t=10ms inclusive.
+  EXPECT_EQ(telemetry.series("p0").points().size(), 11u);
+  EXPECT_EQ(telemetry.series("p0").points().front().t, 0);
   EXPECT_EQ(telemetry.series("unknown").points().size(), 0u);
+}
+
+TEST(QueueTelemetrySampling, ShortRunStillSamplesAtStart) {
+  // Regression: the first sample used to land at t+interval, so a run
+  // shorter than one interval recorded nothing.
+  Simulator sim;
+  ClosTopology topo(&sim, behaviour_clos());
+  QueueTelemetry telemetry(&sim, milliseconds(1));
+  telemetry.watch("p0", &topo.tor(0).port(0));
+  telemetry.start(microseconds(500));
+  sim.run_until(microseconds(500));
+  EXPECT_EQ(telemetry.series("p0").points().size(), 1u);
 }
 
 TEST(QueueTelemetrySampling, IdleQueueReadsZero) {
@@ -153,7 +168,8 @@ TEST(QueueTelemetrySampling, IdleQueueReadsZero) {
   telemetry.watch("p0", &topo.tor(0).port(0));
   telemetry.start(milliseconds(5));
   sim.run_until(milliseconds(6));
-  EXPECT_EQ(telemetry.max_depth("p0"), 0);
+  EXPECT_EQ(telemetry.max_depth("p0"), 0.0);
+  EXPECT_EQ(telemetry.peak("p0").at, 0);
 }
 
 }  // namespace

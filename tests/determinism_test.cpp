@@ -4,6 +4,8 @@
 // without perturbing.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "check/invariant_checker.hpp"
 #include "runner/experiment.hpp"
 
@@ -77,6 +79,84 @@ TEST(Determinism, DifferentWorkloadSeedDifferentDigest) {
   const auto a = digest_of_run(base_config(Scheme::kDefaultStatic, 42), 7);
   const auto b = digest_of_run(base_config(Scheme::kDefaultStatic, 42), 8);
   EXPECT_NE(a, b);
+}
+
+// ---- observability determinism ----
+
+ExperimentConfig obs_config(std::uint64_t seed) {
+  ExperimentConfig cfg = base_config(Scheme::kParaleon, seed);
+  cfg.obs.trace = obs::TraceConfig::all_on(1u << 14);
+  cfg.obs.counter_scrape_interval = milliseconds(1);
+  return cfg;
+}
+
+struct ObsDump {
+  std::uint64_t digest = 0;
+  std::string trace_json;
+  std::string counters_json;
+  std::string report_json;
+};
+
+ObsDump obs_dump_of_run(ExperimentConfig cfg, std::uint64_t wl_seed) {
+  Experiment exp(std::move(cfg));
+  workload::PoissonConfig w;
+  w.hosts = exp.all_hosts();
+  w.sizes = &workload::solar_rpc_distribution();
+  w.load = 0.4;
+  w.stop = milliseconds(25);
+  w.seed = wl_seed;
+  exp.add_poisson(w);
+  exp.run();
+  ObsDump d;
+  d.digest = runner::run_digest(exp);
+  d.trace_json = exp.simulator().obs().trace().to_json();
+  d.counters_json = exp.simulator().obs().registry().to_json();
+  d.report_json = runner::obs_report_json(exp);
+  return d;
+}
+
+TEST(Determinism, SameSeedByteIdenticalObsDumps) {
+  const ObsDump a = obs_dump_of_run(obs_config(42), 7);
+  const ObsDump b = obs_dump_of_run(obs_config(42), 7);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.trace_json, b.trace_json) << "trace JSON diverged";
+  EXPECT_EQ(a.counters_json, b.counters_json) << "counter dump diverged";
+  EXPECT_EQ(a.report_json, b.report_json) << "obs report diverged";
+  // The dumps actually contain events (an empty trace is trivially equal).
+  EXPECT_NE(a.trace_json.find("pkt.tx"), std::string::npos);
+  EXPECT_NE(a.counters_json.find("cnp.sent"), std::string::npos);
+}
+
+TEST(Determinism, TracingIsObservationOnly) {
+  // Enabling every trace category plus counter scraping must not perturb
+  // the simulated run: the network-visible telemetry (flow completions,
+  // CNP counts, switch drops/marks) must match the all-off run exactly.
+  // (run_digest itself is not comparable across the two configurations —
+  // the scrape tick adds events to the executed-event count.)
+  const auto run = [](bool with_obs) {
+    ExperimentConfig cfg = with_obs ? obs_config(5)
+                                    : base_config(Scheme::kParaleon, 5);
+    Experiment exp(std::move(cfg));
+    workload::PoissonConfig w;
+    w.hosts = exp.all_hosts();
+    w.sizes = &workload::solar_rpc_distribution();
+    w.load = 0.4;
+    w.stop = milliseconds(25);
+    w.seed = 9;
+    exp.add_poisson(w);
+    exp.run();
+    std::string out = std::to_string(exp.fct().finished()) + "/" +
+                      std::to_string(exp.fct().started());
+    for (int h = 0; h < exp.topology().host_count(); ++h) {
+      out += " " + std::to_string(exp.topology().host(h).cnps_sent());
+    }
+    for (int t = 0; t < exp.topology().tor_count(); ++t) {
+      out += " " + std::to_string(exp.topology().tor(t).ecn_marks()) + ":" +
+             std::to_string(exp.topology().tor(t).drops());
+    }
+    return out;
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 }  // namespace

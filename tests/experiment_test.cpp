@@ -177,6 +177,46 @@ TEST(Experiment, DeterministicEndToEnd) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(Experiment, LoopProfilerSurfacesInRunMeta) {
+  ExperimentConfig cfg = small_config(Scheme::kParaleon);
+  cfg.obs.profile_loop = true;
+  Experiment exp(cfg);
+  exp.add_poisson(small_poisson(exp));
+  exp.run();
+  const RunMeta meta = run_meta(exp);
+  EXPECT_EQ(meta.events_executed, exp.simulator().events_executed());
+  EXPECT_GT(meta.wall_seconds, 0.0);
+  EXPECT_GT(meta.events_per_sec, 0.0);
+  // Schedule-site tags reach the per-tag histogram.
+  EXPECT_NE(meta.profile_summary.find("net.serialize"), std::string::npos);
+  EXPECT_NE(meta.profile_summary.find("core.mi_tick"), std::string::npos);
+}
+
+TEST(Experiment, UnprofiledRunMetaHasNoWallClock) {
+  Experiment exp(small_config(Scheme::kDefaultStatic));
+  exp.add_poisson(small_poisson(exp));
+  exp.run();
+  const RunMeta meta = run_meta(exp);
+  EXPECT_EQ(meta.wall_seconds, 0.0);
+  EXPECT_TRUE(meta.profile_summary.empty());
+}
+
+TEST(Experiment, CounterScrapesRecordSeries) {
+  ExperimentConfig cfg = small_config(Scheme::kParaleon);
+  cfg.obs.counter_scrape_interval = milliseconds(1);
+  Experiment exp(cfg);
+  exp.add_poisson(small_poisson(exp));
+  exp.run();
+  // t=0 scrape plus one per millisecond through the 30 ms horizon.
+  const auto& series = exp.counter_scrapes().series("sim.events_executed");
+  EXPECT_GE(series.points().size(), 30u);
+  EXPECT_EQ(series.points().front().t, 0);
+  // Monotonic counter scraped monotonically.
+  for (std::size_t i = 1; i < series.points().size(); ++i) {
+    EXPECT_GE(series.points()[i].value, series.points()[i - 1].value);
+  }
+}
+
 TEST(Experiment, SlowdownsAreAtLeastOneIsh) {
   Experiment exp(small_config(Scheme::kDefaultStatic));
   exp.add_poisson(small_poisson(exp));

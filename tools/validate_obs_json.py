@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate the observability JSON a bench dumps with --trace.
+
+Usage: validate_obs_json.py OBS_JSON [TRACE_JSON]
+
+OBS_JSON is the per-run obs report (runner::obs_report_json): the full
+counter registry, trace-recorder totals and the tuning-episode timelines.
+TRACE_JSON is the Chrome trace-event file; when given, it is checked for
+Perfetto-loadable shape.
+
+Exits nonzero with a message on the first violation, so the CI smoke job
+fails loudly when an emitter drifts from the documented schema.
+"""
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print(f"validate_obs_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+# Instrument names every traced kParaleon run must register: MMU, PFC,
+# ECN, DCQCN RP stages, CNP pacing, sketch and the SA controller (the
+# ISSUE acceptance list). Checked against counters+gauges together —
+# whether a subsystem surfaces as a slot or a callback is its own choice.
+REQUIRED_INSTRUMENTS = [
+    (r"^switch\.\d+\.mmu\.drops$", "MMU drop counters"),
+    (r"^switch\.\d+\.mmu\.buffer_used$", "MMU occupancy gauges"),
+    (r"^switch\.\d+\.pfc\.pauses_sent$", "PFC pause counters"),
+    (r"^switch\.\d+\.port\.\d+\.pfc\.pauses_received$",
+     "PFC pauses-received gauges"),
+    (r"^switch\.\d+\.port\.\d+\.paused_ns$", "PFC pause-time gauges"),
+    (r"^switch\.\d+\.ecn\.marks$", "ECN mark counters"),
+    (r"^switch\.\d+\.port\.\d+\.tx_data_bytes$", "per-port byte gauges"),
+    (r"^host\.\d+\.rp\.cuts$", "DCQCN RP stage counters"),
+    (r"^host\.\d+\.rp\.hyper_increase$", "DCQCN RP stage counters"),
+    (r"^host\.\d+\.cnp\.sent$", "CNP counters"),
+    (r"^host\.\d+\.cnp\.suppressed$", "CNP pacing counters"),
+    (r"^sketch\.tor\.\d+\.insertions$", "sketch gauges"),
+    (r"^sketch\.tor\.\d+\.ostracism_votes$", "sketch ostracism gauges"),
+    (r"^controller\.\d+\.sa\.episodes$", "SA controller gauges"),
+    (r"^sim\.events_executed$", "simulator gauges"),
+]
+
+PARAM_KEYS = {
+    "ai_rate_mbps", "hai_rate_mbps", "rpg_time_reset_us", "rpg_byte_reset",
+    "rpg_threshold", "min_rate_mbps", "rate_reduce_monitor_period_us",
+    "clamp_tgt_rate", "alpha_update_period_us", "g",
+    "min_time_between_cnps_us", "kmin_kb", "kmax_kb", "pmax",
+}
+
+TRACE_CATEGORIES = {"packet", "pfc", "rp", "monitor", "sa"}
+
+
+def check_obs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("registry", "trace", "episodes"):
+        require(key in doc, f"{path}: missing top-level key '{key}'")
+
+    reg = doc["registry"]
+    require(set(reg) == {"counters", "gauges"},
+            f"{path}: registry must hold exactly counters+gauges")
+    counters, gauges = reg["counters"], reg["gauges"]
+    for name, value in counters.items():
+        require(isinstance(value, int) and value >= 0,
+                f"counter {name} must be a nonnegative integer, got {value!r}")
+    for name, value in gauges.items():
+        require(isinstance(value, (int, float)),
+                f"gauge {name} must be numeric, got {value!r}")
+    instruments = set(counters) | set(gauges)
+    for pattern, what in REQUIRED_INSTRUMENTS:
+        require(any(re.match(pattern, n) for n in instruments),
+                f"no {what} in the registry (pattern {pattern})")
+
+    tr = doc["trace"]
+    for key in ("total", "recorded", "dropped"):
+        require(isinstance(tr.get(key), int), f"trace.{key} must be an int")
+    require(tr["total"] == tr["recorded"] + tr["dropped"],
+            "trace totals inconsistent: total != recorded + dropped")
+    require(tr["total"] > 0, "traced run recorded zero events")
+
+    require(isinstance(doc["episodes"], list), "episodes must be a list")
+    n_trials = 0
+    for controller in doc["episodes"]:
+        for ep in controller:
+            for key in ("index", "start_ms", "trigger", "kl_value",
+                        "start_params", "trials", "best_params",
+                        "best_utility", "reverted"):
+                require(key in ep, f"episode missing '{key}'")
+            require(ep["trigger"] in {"kl", "forced", "blind", "steady"},
+                    f"unknown trigger {ep['trigger']!r}")
+            require(set(ep["start_params"]) == PARAM_KEYS,
+                    "start_params keys drifted from the DCQCN parameter set")
+            for trial in ep["trials"]:
+                n_trials += 1
+                for key in ("t_ms", "iteration", "temperature", "params",
+                            "utility", "accepted"):
+                    require(key in trial, f"trial missing '{key}'")
+                require(isinstance(trial["accepted"], bool),
+                        "trial.accepted must be a bool")
+                require(set(trial["params"]) == PARAM_KEYS,
+                        "trial params keys drifted")
+    return len(counters) + len(gauges), tr["total"], n_trials
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    require("traceEvents" in doc, f"{path}: missing 'traceEvents'")
+    events = doc["traceEvents"]
+    require(len(events) > 0, "trace file holds zero events")
+    spans_open = {}
+    for ev in events:
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            require(key in ev, f"trace event missing '{key}': {ev}")
+        require(ev["cat"] in TRACE_CATEGORIES,
+                f"unknown trace category {ev['cat']!r}")
+        require(ev["ph"] in {"i", "X", "B", "E"},
+                f"unknown phase {ev['ph']!r}")
+        require(isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0,
+                f"bad ts {ev['ts']!r}")
+        track = (ev["pid"], ev["tid"], ev["name"])
+        if ev["ph"] == "B":
+            spans_open[track] = spans_open.get(track, 0) + 1
+        elif ev["ph"] == "E":
+            # A span may have opened before the ring's retention window,
+            # so an unmatched E is legal; negative depth is not tracked.
+            spans_open[track] = max(0, spans_open.get(track, 0) - 1)
+    return len(events)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    n_instruments, n_trace, n_trials = check_obs(sys.argv[1])
+    msg = (f"obs report OK: {n_instruments} instruments, "
+           f"{n_trace} trace events, {n_trials} SA trials")
+    if len(sys.argv) > 2:
+        n_events = check_trace(sys.argv[2])
+        msg += f"; trace file OK: {n_events} events"
+    print(f"validate_obs_json: {msg}")
+
+
+if __name__ == "__main__":
+    main()
