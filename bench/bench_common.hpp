@@ -48,10 +48,18 @@ inline std::string scaling_note(const ExperimentConfig& cfg,
 /// Observability flags shared by the benches: `--trace` turns on every
 /// trace category plus per-MI counter scraping, `--tiny` asks the bench
 /// for its smallest configuration (CI smoke), `--obs-out DIR` selects
-/// where the JSON dumps land (default: current directory).
+/// where the JSON dumps land (default: current directory). Flight-recorder
+/// flags: `--flight` arms the anomaly triggers (bundles land under
+/// `<out_dir>/flight`), `--flight-fault` additionally injects the seeded
+/// buffer-accounting fault mid-run so CI can trip a dump on demand, and
+/// `--replay-flight BUNDLE_DIR` re-runs a bundle's seed with all tracing
+/// on instead of the bench's normal run.
 struct ObsCli {
   bool trace = false;
   bool tiny = false;
+  bool flight = false;
+  bool flight_fault = false;
+  std::string replay_bundle;  // empty = no replay requested
   std::string out_dir = ".";
 };
 
@@ -62,6 +70,13 @@ inline ObsCli parse_obs_cli(int argc, char** argv) {
       cli.trace = true;
     } else if (std::strcmp(argv[i], "--tiny") == 0) {
       cli.tiny = true;
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      cli.flight = true;
+    } else if (std::strcmp(argv[i], "--flight-fault") == 0) {
+      cli.flight = true;
+      cli.flight_fault = true;
+    } else if (std::strcmp(argv[i], "--replay-flight") == 0 && i + 1 < argc) {
+      cli.replay_bundle = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
       cli.out_dir = argv[++i];
     }
@@ -69,12 +84,50 @@ inline ObsCli parse_obs_cli(int argc, char** argv) {
   return cli;
 }
 
+/// Removes the ObsCli flags from argv (in place) so they can coexist with
+/// another flag parser — google-benchmark aborts on flags it does not
+/// know. Returns the new argc.
+inline int strip_obs_cli(int argc, char** argv) {
+  const auto takes_value = [](const char* a) {
+    return std::strcmp(a, "--obs-out") == 0 ||
+           std::strcmp(a, "--replay-flight") == 0;
+  };
+  const auto is_flag = [](const char* a) {
+    return std::strcmp(a, "--trace") == 0 || std::strcmp(a, "--tiny") == 0 ||
+           std::strcmp(a, "--flight") == 0 ||
+           std::strcmp(a, "--flight-fault") == 0;
+  };
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (is_flag(argv[i])) continue;
+    if (takes_value(argv[i])) {
+      if (i + 1 < argc) ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  for (int i = out; i < argc; ++i) argv[i] = nullptr;
+  return out;
+}
+
 /// Applies the CLI to an experiment config: all trace categories on and
-/// counters scraped once per millisecond of simulated time.
+/// counters scraped once per millisecond of simulated time with `--trace`;
+/// with `--flight`, anomaly triggers armed at thresholds that stay silent
+/// on a healthy run but fire on a pause storm or drop burst.
 inline void apply_obs_cli(const ObsCli& cli, ExperimentConfig& cfg) {
-  if (!cli.trace) return;
-  cfg.obs.trace = obs::TraceConfig::all_on();
-  cfg.obs.counter_scrape_interval = milliseconds(1);
+  if (cli.trace) {
+    cfg.obs.trace = obs::TraceConfig::all_on();
+    cfg.obs.counter_scrape_interval = milliseconds(1);
+  }
+  if (cli.flight) {
+    cfg.obs.flight.armed = true;
+    cfg.obs.flight.dir = cli.out_dir + "/flight";
+    // >5% of link-time paused fabric-wide, or any burst of MMU drops
+    // (lossless fabrics should never drop), or an SA revert.
+    cfg.obs.flight.pause_ns_per_sec = 50'000'000;
+    cfg.obs.flight.drop_burst = 8;
+    cfg.obs.flight.on_sa_revert = true;
+  }
 }
 
 /// Writes `<name>.trace.json` (Chrome trace-event format, Perfetto-

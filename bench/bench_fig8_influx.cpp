@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "runner/flight.hpp"
 
 using namespace paraleon;
 using namespace paraleon::bench;
@@ -35,12 +36,12 @@ ExperimentConfig fig8_config(Scheme s) {
   return cfg;
 }
 
-void run_scheme(Scheme s) {
-  ExperimentConfig cfg = fig8_config(s);
+/// The fig8 workload mix, shared by the normal run, the fault-injection
+/// run and --replay-flight (a replay MUST install the identical workloads:
+/// the bundle stores only seed + horizon, determinism does the rest).
+void setup_workloads(Experiment& exp) {
   const Time influx_start = g_cli.tiny ? milliseconds(20) : kInfluxStart;
   const Time influx_end = g_cli.tiny ? milliseconds(35) : kInfluxEnd;
-  const Time end = cfg.duration;
-  Experiment exp(cfg);
 
   workload::AlltoallConfig a2a;
   const int workers = g_cli.tiny ? 8 : 16;
@@ -53,6 +54,70 @@ void run_scheme(Scheme s) {
   workload::PoissonConfig burst = fb_hadoop(exp, 0.4, influx_end, 2009);
   burst.start = influx_start;
   exp.add_poisson(burst);
+}
+
+/// --flight-fault: trip the flight recorder on demand by corrupting ToR 0's
+/// MMU accounting mid-run; the kFull invariant checker throws CheckFailure
+/// and the armed recorder dumps a "check_failure" bundle. Exit 0 iff the
+/// bundle landed (CI validates and replays it afterwards).
+int run_flight_fault() {
+  ExperimentConfig cfg = fig8_config(Scheme::kParaleon);
+  cfg.invariants.level = check::CheckLevel::kFull;
+  Experiment exp(cfg);
+  setup_workloads(exp);
+  const Time fault_at = g_cli.tiny ? milliseconds(10) : milliseconds(80);
+  exp.simulator().schedule_at(fault_at, [&exp] {
+    exp.topology().tor(0).inject_buffer_accounting_fault(4096);
+  });
+  try {
+    exp.run();
+    std::fprintf(stderr, "flight-fault: injected fault was not detected\n");
+    return 1;
+  } catch (const check::CheckFailure&) {
+    if (exp.flight_bundle_dir().empty()) {
+      std::fprintf(stderr, "flight-fault: CheckFailure but no bundle\n");
+      return 1;
+    }
+    std::printf("# flight bundle: %s\n", exp.flight_bundle_dir().c_str());
+  }
+  return 0;
+}
+
+/// --replay-flight BUNDLE: re-run the bundle's seed with every trace
+/// category forced on up to just past the trigger, writing the Perfetto
+/// trace of the anomaly window back into the bundle. The other flags
+/// (--tiny in particular) must match the invocation that wrote it.
+int run_replay(const std::string& bundle) {
+  ReplayRequest req;
+  if (!load_replay_request(bundle, &req)) {
+    std::fprintf(stderr, "replay-flight: cannot read %s/replay.cfg\n",
+                 bundle.c_str());
+    return 1;
+  }
+  ExperimentConfig cfg = fig8_config(Scheme::kParaleon);
+  apply_replay(cfg, req);
+  Experiment exp(cfg);
+  setup_workloads(exp);
+  exp.run();
+  if (!write_replay_outputs(exp, bundle)) {
+    std::fprintf(stderr, "replay-flight: cannot write replay outputs\n");
+    return 1;
+  }
+  std::printf(
+      "# replay: wrote %s/replay.trace.json (trigger at %lld ns, window "
+      "0..%lld ns)\n",
+      bundle.c_str(), static_cast<long long>(req.trigger_ns),
+      static_cast<long long>(req.replay_until_ns));
+  return 0;
+}
+
+void run_scheme(Scheme s) {
+  ExperimentConfig cfg = fig8_config(s);
+  const Time influx_start = g_cli.tiny ? milliseconds(20) : kInfluxStart;
+  const Time influx_end = g_cli.tiny ? milliseconds(35) : kInfluxEnd;
+  const Time end = cfg.duration;
+  Experiment exp(cfg);
+  setup_workloads(exp);
   exp.run();
   if (s == Scheme::kParaleon) dump_obs(g_cli, exp, "fig8_paraleon");
 
@@ -78,6 +143,8 @@ void run_scheme(Scheme s) {
 
 int main(int argc, char** argv) {
   g_cli = parse_obs_cli(argc, argv);
+  if (!g_cli.replay_bundle.empty()) return run_replay(g_cli.replay_bundle);
+  if (g_cli.flight_fault) return run_flight_fault();
   print_header("Fig. 8: runtime throughput & RTT across a FB_Hadoop influx",
                scaling_note(fig8_config(Scheme::kParaleon),
                             "LLM alltoall background + 30 ms FB_Hadoop burst "

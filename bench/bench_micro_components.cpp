@@ -3,6 +3,10 @@
 // update, KL divergence, SA mutation, and the event engine.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "core/flow_state.hpp"
 #include "core/fsd.hpp"
@@ -102,7 +106,57 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
+// Same loop with the attribution engine enabled (the flight recorder's
+// steady-state configuration): the engine only acts at PFC latch / pause
+// boundaries, so pure event dispatch must stay inside the <3% gate.
+void BM_EventQueueScheduleRunAttribution(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.obs().attribution().set_enabled(true);
+    int sink = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at((i * 7919) % 100000, [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueScheduleRunAttribution);
+
 }  // namespace
 }  // namespace paraleon
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared ObsCli flags are
+// stripped before google-benchmark sees argv (it aborts on unknown flags),
+// and the header carries the same machine-parseable scaling note as the
+// experiment benches. --tiny narrows to an event-engine + sketch smoke
+// subset for CI; everything else (--benchmark_out=...) passes through.
+int main(int argc, char** argv) {
+  const paraleon::bench::ObsCli cli =
+      paraleon::bench::parse_obs_cli(argc, argv);
+  argc = paraleon::bench::strip_obs_cli(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::string filter =
+      "--benchmark_filter=BM_EventQueueScheduleRun|BM_ElasticSketchInsert/"
+      "1000";
+  if (cli.tiny) args.push_back(filter.data());
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+
+  // No fabric is simulated here; the note documents the reference config
+  // the component costs feed into (paper_fabric is what the experiment
+  // benches run).
+  const paraleon::bench::ExperimentConfig ref = paraleon::bench::paper_fabric(
+      paraleon::bench::Scheme::kParaleon, /*seed=*/1);
+  std::printf("# bench_micro_components: Table IV component costs\n");
+  std::printf("# %s\n",
+              paraleon::bench::scaling_note(
+                  ref, "component micros only; fabric shown for reference")
+                  .c_str());
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

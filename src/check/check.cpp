@@ -16,6 +16,30 @@ std::string build_what(const std::string& expression, const std::string& file,
   return os.str();
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 CheckFailure::CheckFailure(std::string expression, std::string file, int line,
@@ -25,6 +49,15 @@ CheckFailure::CheckFailure(std::string expression, std::string file, int line,
       file_(std::move(file)),
       line_(line),
       message_(std::move(message)) {}
+
+std::string failure_to_json(const CheckFailure& failure) {
+  std::ostringstream os;
+  os << "{\n  \"expression\": \"" << json_escape(failure.expression())
+     << "\",\n  \"file\": \"" << json_escape(failure.file())
+     << "\",\n  \"line\": " << failure.line() << ",\n  \"message\": \""
+     << json_escape(failure.message()) << "\"\n}";
+  return os.str();
+}
 
 namespace detail {
 

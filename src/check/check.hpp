@@ -37,6 +37,10 @@ class CheckFailure : public std::runtime_error {
   std::string message_;
 };
 
+/// Serialises a failure for a flight-recorder post-mortem bundle
+/// (`failure.json`): expression, file, line, and message, JSON-escaped.
+std::string failure_to_json(const CheckFailure& failure);
+
 namespace detail {
 
 /// Prints the failure to stderr and throws CheckFailure.

@@ -42,6 +42,15 @@ void RpState::on_bytes_sent(std::int64_t bytes, Time now) {
     // both reset only on a rate decrease (DCQCN, SIGCOMM'15 §3).
     rate_increase_event();
   }
+  // Attribution input: the pacing gap the sender will use for these bytes
+  // is their serialization time at rc_ (post any stage event above); the
+  // excess over line rate is time the RP machine, not the fabric, cost the
+  // flow. Accumulated unconditionally — it is two subtractions per packet
+  // and keeps the RP free of any observability dependency.
+  if (rc_ < line_rate_) {
+    rate_limited_ns_ +=
+        serialization_time(bytes, rc_) - serialization_time(bytes, line_rate_);
+  }
 }
 
 Time RpState::next_deadline() const {

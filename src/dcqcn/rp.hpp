@@ -61,6 +61,17 @@ class RpState {
   int timer_stage() const { return t_stage_; }
   int byte_stage() const { return b_stage_; }
 
+  /// Extra pacing delay imposed versus line rate, accumulated per
+  /// on_bytes_sent (the attribution engine's "RP-rate-limited" component).
+  Time rate_limited_ns() const { return rate_limited_ns_; }
+  /// Drains the accumulator (so harvest-at-finish plus mid-run flushes for
+  /// post-mortem bundles never double-count).
+  Time take_rate_limited() {
+    const Time t = rate_limited_ns_;
+    rate_limited_ns_ = 0;
+    return t;
+  }
+
  private:
   void rate_increase_event();
   void fire_rate_timer(Time now);
@@ -76,6 +87,7 @@ class RpState {
   int t_stage_ = 0;  // rate-timer expirations since last cut
   int b_stage_ = 0;  // byte-counter expirations since last cut
   std::int64_t bytes_since_counter_ = 0;
+  Time rate_limited_ns_ = 0;
   Time last_cut_ = -kTimeNever / 2;  // far past: first CNP always cuts
   bool cnp_since_alpha_update_ = false;
   Time rate_timer_deadline_;

@@ -1,0 +1,91 @@
+// Flight-recorder support types: anomaly triggers and the post-mortem
+// bundle writer.
+//
+// The runner arms `AnomalyTriggers` with thresholds and feeds it periodic
+// samples of cumulative run health (total PFC pause time, MMU drops, SA
+// reverts, controller utility); the first sample that crosses a threshold
+// names the anomaly, and `runner::Experiment` then uses `BundleWriter` to
+// dump a self-contained post-mortem directory: trace-ring tail, counter
+// snapshot, per-port state, event-queue head, episode log, attribution,
+// and the exact seed + horizon needed to replay the run with full tracing
+// (`--replay-flight`). A `check::CheckFailure` escaping the event loop
+// takes the same path with reason "check_failure".
+//
+// Triggers read cumulative telemetry only — the scan must never mutate the
+// network, so an armed-but-silent recorder leaves behavior byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace paraleon::obs {
+
+/// Flight-recorder arming knobs. Everything defaults off / disarmed.
+struct FlightConfig {
+  /// Master switch: scan for anomalies and dump a bundle on trigger or on
+  /// an escaping CheckFailure.
+  bool armed = false;
+  /// Directory under which `flight_<reason>/` bundles are written.
+  std::string dir = "flight";
+  /// Simulated-time interval between trigger scans.
+  Time check_interval = 1'000'000;  // 1 ms
+  /// Fire when total PFC pause time grows faster than this many ns of
+  /// pause per second of simulated time (<= 0: disabled).
+  std::int64_t pause_ns_per_sec = 0;
+  /// Fire when MMU drops grow by more than this many packets between two
+  /// scans (<= 0: disabled).
+  std::int64_t drop_burst = 0;
+  /// Fire on any simulated-annealing revert.
+  bool on_sa_revert = false;
+  /// Fire when controller utility falls below this floor (NaN: disabled).
+  double utility_floor = -1.0;
+  bool utility_floor_set = false;
+  /// Replay horizon: trigger time plus this margin.
+  Time replay_margin = 2'000'000;  // 2 ms
+};
+
+/// Stateful threshold detectors over cumulative health samples.
+class AnomalyTriggers {
+ public:
+  struct Sample {
+    Time t = 0;
+    std::int64_t total_paused_ns = 0;
+    std::int64_t drops = 0;
+    std::int64_t reverts = 0;
+    double utility = 0.0;
+    bool utility_valid = false;
+  };
+
+  void configure(const FlightConfig& cfg) { cfg_ = cfg; }
+  const FlightConfig& config() const { return cfg_; }
+
+  /// Feeds one sample; returns the name of the trigger that fired, or
+  /// nullptr. Rate triggers compare against the previous sample, so the
+  /// first sample only seeds state.
+  const char* update(const Sample& s);
+
+  void reset() { has_prev_ = false; }
+
+ private:
+  FlightConfig cfg_;
+  Sample prev_;
+  bool has_prev_ = false;
+};
+
+/// Creates a bundle directory and writes named files into it. Thin
+/// filesystem shim so the runner's bundle logic stays testable.
+class BundleWriter {
+ public:
+  /// Creates `dir` (and parents). Returns false on failure.
+  static bool create_dir(const std::string& dir);
+  /// Writes `content` to `dir/name`. Returns false on failure.
+  static bool write_file(const std::string& dir, const std::string& name,
+                         const std::string& content);
+  /// Reads `dir/name` fully; empty string and `ok=false` on failure.
+  static std::string read_file(const std::string& dir,
+                               const std::string& name, bool* ok = nullptr);
+};
+
+}  // namespace paraleon::obs

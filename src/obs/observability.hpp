@@ -5,7 +5,9 @@
 #pragma once
 
 #include "common/time.hpp"
+#include "obs/attribution.hpp"
 #include "obs/counters.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
@@ -22,6 +24,11 @@ struct ObsConfig {
   /// > 0: scrape every registry instrument into a stats::TimeSeries each
   /// interval of simulated time (Experiment::counter_scrapes()).
   Time counter_scrape_interval = 0;
+  /// Record pause causality spans and per-flow blocked / rate-limited time
+  /// (obs::AttributionEngine; reported via runner::attribution_json).
+  bool attribution = false;
+  /// Flight-recorder arming: anomaly triggers + post-mortem bundles.
+  FlightConfig flight;
 };
 
 class Observability {
@@ -32,11 +39,14 @@ class Observability {
   const TraceRecorder& trace() const { return trace_; }
   LoopProfiler& profiler() { return profiler_; }
   const LoopProfiler& profiler() const { return profiler_; }
+  AttributionEngine& attribution() { return attribution_; }
+  const AttributionEngine& attribution() const { return attribution_; }
 
  private:
   Registry registry_;
   TraceRecorder trace_;
   LoopProfiler profiler_;
+  AttributionEngine attribution_;
 };
 
 }  // namespace paraleon::obs

@@ -2,18 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <string_view>
 
 #include "check/digest.hpp"
+#include "runner/flight.hpp"
 
 namespace paraleon::runner {
 
 Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   // Observability knobs first so construction-time registrations and the
-  // earliest events already see the final configuration.
+  // earliest events already see the final configuration. An armed flight
+  // recorder implies attribution: its bundles carry attribution.json.
   sim_.obs().trace().configure(cfg_.obs.trace);
   sim_.obs().profiler().set_enabled(cfg_.obs.profile_loop);
+  sim_.obs().attribution().set_enabled(cfg_.obs.attribution ||
+                                       cfg_.obs.flight.armed);
+  flight_trigger_count_ = sim_.obs().registry().counter("flight.triggers");
 
   // The scheme dictates the initial parameter setting.
   if (cfg_.scheme == Scheme::kCustomStatic) {
@@ -272,6 +278,42 @@ void Experiment::schedule_probe() {
     sim_.schedule_at(mi, *tick);
   }
 
+  if (cfg_.obs.flight.armed) {
+    flight_triggers_.configure(cfg_.obs.flight);
+    const Time iv = std::max<Time>(1, cfg_.obs.flight.check_interval);
+    // The scan is strictly read-only on the network: it samples cumulative
+    // telemetry and (at most) writes a bundle, so arming the recorder
+    // cannot change what the fabric does — which is exactly what makes a
+    // later --replay-flight of the same seed reproduce the anomaly.
+    probe_ticks_.push_back(std::make_unique<std::function<void()>>());
+    auto* tick = probe_ticks_.back().get();
+    *tick = [this, iv, tick] {
+      obs::AnomalyTriggers::Sample s;
+      s.t = sim_.now();
+      s.total_paused_ns = topo_->total_paused_time();
+      s.drops = static_cast<std::int64_t>(topo_->total_drops());
+      for (const auto& c : controllers_) {
+        s.reverts += static_cast<std::int64_t>(c->reverts());
+      }
+      if (!controllers_.empty()) {
+        const auto& pts = controllers_.front()->utility_series().points();
+        if (!pts.empty()) {
+          s.utility = pts.back().value;
+          s.utility_valid = true;
+        }
+      }
+      const char* fired = flight_triggers_.update(s);
+      if (fired != nullptr) {
+        flight_trigger_count_.inc();
+        if (flight_bundle_dir_.empty()) {
+          flight_bundle_dir_ = write_flight_bundle(*this, fired);
+        }
+      }
+      sim_.schedule_in(iv, *tick, "obs.flight_scan");
+    };
+    sim_.schedule_at(iv, *tick, "obs.flight_scan");
+  }
+
   if (cfg_.track_fsd_accuracy) {
     // Runs 1 ns after the controller/agent tick of the same interval so
     // the agents have already advanced. Accuracy is per-flow elephant/mice
@@ -343,9 +385,41 @@ workload::AlltoallWorkload& Experiment::add_alltoall(
   return *raw;
 }
 
+std::uint64_t Experiment::inject_flow(int src, int dst,
+                                      std::int64_t size_bytes, Time at) {
+  workload::FlowSpec spec;
+  spec.flow_id = ++injected_flow_seq_;
+  spec.src = src;
+  spec.dst = dst;
+  spec.size_bytes = size_bytes;
+  if (at <= sim_.now()) {
+    start_flow(spec);
+  } else {
+    sim_.schedule_at(at, [this, spec] { start_flow(spec); }, "workload.inject");
+  }
+  return spec.flow_id;
+}
+
 void Experiment::run() { run_until(cfg_.duration); }
 
-void Experiment::run_until(Time t) { sim_.run_until(t); }
+void Experiment::run_until(Time t) {
+  if (!cfg_.obs.flight.armed) {
+    sim_.run_until(t);
+    return;
+  }
+  try {
+    sim_.run_until(t);
+  } catch (const check::CheckFailure& failure) {
+    // The invariant checker (or any PARALEON_CHECK) caught the run in a
+    // corrupt state: capture it before the stack unwinds it away.
+    if (flight_bundle_dir_.empty()) {
+      flight_trigger_count_.inc();
+      flight_bundle_dir_ =
+          write_flight_bundle(*this, "check_failure", &failure);
+    }
+    throw;
+  }
+}
 
 const stats::TimeSeries& Experiment::throughput_series() const {
   return controllers_.size() == 1 ? controllers_.front()->throughput_series()
@@ -508,6 +582,37 @@ std::string obs_report_json(const Experiment& exp) {
     if (!first) out += ", ";
     first = false;
     out += c->episode_log().to_json();
+  }
+  out += "], \"fct\": ";
+  out += fct_report_json(exp.fct());
+  out += "}";
+  return out;
+}
+
+std::string fct_report_json(const stats::FctTracker& fct) {
+  const auto stats_json = [](const stats::FctTracker::SlowdownStats& s) {
+    std::string j = "{\"count\": " + std::to_string(s.count);
+    j += ", \"mean\": " + obs::format_value(s.mean);
+    j += ", \"p50\": " + obs::format_value(s.p50);
+    j += ", \"p95\": " + obs::format_value(s.p95);
+    j += ", \"p99\": " + obs::format_value(s.p99);
+    j += ", \"p999\": " + obs::format_value(s.p999);
+    j += "}";
+    return j;
+  };
+  std::string out = "{\"started\": " + std::to_string(fct.started());
+  out += ", \"finished\": " + std::to_string(fct.finished());
+  out += ", \"slowdown\": ";
+  out += stats_json(
+      fct.slowdown_stats(0, std::numeric_limits<std::int64_t>::max()));
+  out += ", \"buckets\": [";
+  bool first = true;
+  for (const auto& [bucket, s] : fct.bucket_slowdowns()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"label\": \"" + std::string(bucket.label) + "\"";
+    out += ", \"min_size\": " + std::to_string(bucket.min_size);
+    out += ", \"stats\": " + stats_json(s) + "}";
   }
   out += "]}";
   return out;

@@ -63,7 +63,16 @@ class Experiment {
   workload::PoissonWorkload& add_poisson(workload::PoissonConfig wcfg);
   workload::AlltoallWorkload& add_alltoall(workload::AlltoallConfig wcfg);
 
-  /// Runs until `config().duration`.
+  /// Starts one explicit flow (immediately, or at absolute time `at` when
+  /// >= now), tracked like any workload flow. Returns its flow id. Ids are
+  /// small integers — workload bases start at 1<<32, so they never clash.
+  /// This is how tests build deterministic incasts and pause cascades.
+  std::uint64_t inject_flow(int src, int dst, std::int64_t size_bytes,
+                            Time at = -1);
+
+  /// Runs until `config().duration`. With the flight recorder armed, a
+  /// check::CheckFailure escaping the event loop writes a post-mortem
+  /// bundle (reason "check_failure") before rethrowing.
   void run();
   void run_until(Time t);
 
@@ -121,6 +130,15 @@ class Experiment {
   /// config().obs.counter_scrape_interval > 0).
   const obs::ScrapeLog& counter_scrapes() const { return scrape_log_; }
 
+  /// Directory of the post-mortem bundle this run wrote ("" when none).
+  /// One bundle per run — the first trigger wins; later fires only bump
+  /// the `flight.triggers` counter.
+  const std::string& flight_bundle_dir() const { return flight_bundle_dir_; }
+  /// Anomaly-trigger fires this run (including ones after the bundle).
+  std::uint64_t flight_triggers_fired() const {
+    return static_cast<std::uint64_t>(flight_trigger_count_.value());
+  }
+
  private:
   void start_flow(const workload::FlowSpec& spec);
   void wire_scheme();
@@ -154,6 +172,14 @@ class Experiment {
   mutable stats::TimeSeries merged_rtt_;  // per-pod RTT view, built lazily
   stats::TimeSeries accuracy_series_;
   obs::ScrapeLog scrape_log_;
+
+  // Flight recorder: anomaly detectors fed by a read-only scan tick (the
+  // scan must never mutate the network, so an armed-but-silent run stays
+  // byte-identical in behavior to a disarmed one).
+  obs::AnomalyTriggers flight_triggers_;
+  obs::Counter flight_trigger_count_;
+  std::string flight_bundle_dir_;
+  std::uint64_t injected_flow_seq_ = 0;
 };
 
 /// Order-stable FNV-1a digest over every observable telemetry surface of a
@@ -180,8 +206,12 @@ struct RunMeta {
 RunMeta run_meta(const Experiment& exp);
 
 /// One deterministic JSON document per run: the full counter registry,
-/// trace-recorder totals and every controller's tuning-episode timeline.
-/// Identical seeds yield byte-identical output.
+/// trace-recorder totals, every controller's tuning-episode timeline and
+/// the FCT slowdown summary. Identical seeds yield byte-identical output.
 std::string obs_report_json(const Experiment& exp);
+
+/// The FCT slowdown summary alone: overall and per-size-bucket
+/// count/mean/p50/p95/p99/p999 of slowdown-vs-ideal.
+std::string fct_report_json(const stats::FctTracker& fct);
 
 }  // namespace paraleon::runner

@@ -47,6 +47,8 @@ void HostNode::attach_uplink(Node* tor, int tor_port, Rate rate,
   uplink_->on_dequeue = [this](const NetDevice::Queued& item) {
     on_nic_dequeue(item);
   };
+  sim_->obs().attribution().register_link(id(), 0, tor->id(), tor_port,
+                                          tor->is_switch());
   obs::Registry& reg = sim_->obs().registry();
   const std::string prefix = "host." + std::to_string(id()) + ".uplink";
   NetDevice* dev = uplink_.get();
@@ -170,8 +172,23 @@ void HostNode::on_nic_dequeue(const NetDevice::Queued& item) {
 void HostNode::maybe_finish_tx(std::uint64_t flow_id) {
   auto it = tx_flows_.find(flow_id);
   if (it == tx_flows_.end()) return;
-  const FlowTx& f = it->second;
-  if (f.sent >= f.size && f.in_nic == 0) tx_flows_.erase(it);
+  FlowTx& f = it->second;
+  if (f.sent >= f.size && f.in_nic == 0) {
+    // Harvest the QP's attribution accumulator before the state vanishes.
+    obs::AttributionEngine& attr = sim_->obs().attribution();
+    if (attr.enabled()) {
+      attr.on_flow_rate_limited(flow_id, f.rp.take_rate_limited());
+    }
+    tx_flows_.erase(it);
+  }
+}
+
+void HostNode::flush_attribution() {
+  obs::AttributionEngine& attr = sim_->obs().attribution();
+  if (!attr.enabled()) return;
+  for (auto& [flow_id, f] : tx_flows_) {
+    attr.on_flow_rate_limited(flow_id, f.rp.take_rate_limited());
+  }
 }
 
 void HostNode::receive(const Packet& pkt, int in_port) {

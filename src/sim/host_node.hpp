@@ -94,6 +94,11 @@ class HostNode : public Node {
   /// Test/diagnostic access to a sender QP's current DCQCN rate.
   double qp_rate(std::uint64_t flow_id) const;
 
+  /// Drains the rate-limited-time accumulators of still-active QPs into
+  /// the attribution engine (finished flows harvest themselves). Called
+  /// before an attribution dump so in-flight flows are represented too.
+  void flush_attribution();
+
   /// Invokes `fn(flow_id, current_rate)` for every active sender QP — the
   /// invariant checker's window onto the RP rate machines.
   template <class Fn>

@@ -1,6 +1,7 @@
 #include "sim/net_device.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "sim/node.hpp"
 
@@ -51,7 +52,9 @@ void NetDevice::pause_data(Time duration) {
       pause_until_,
       [this, gen] {
         if (gen == kick_generation_) {
-          paused_accum_ += sim_->now() - pause_start_;
+          const Time span = sim_->now() - pause_start_;
+          paused_accum_ += span;
+          charge_blocked_flows(span);
           obs::TraceRecorder& tr = sim_->obs().trace();
           if (tr.enabled(obs::TraceCategory::kPfc)) {
             tr.end_span(obs::TraceCategory::kPfc, "pfc.pause", sim_->now(),
@@ -65,7 +68,9 @@ void NetDevice::pause_data(Time duration) {
 
 void NetDevice::resume_data() {
   if (!data_paused()) return;
-  paused_accum_ += sim_->now() - pause_start_;
+  const Time span = sim_->now() - pause_start_;
+  paused_accum_ += span;
+  charge_blocked_flows(span);
   pause_until_ = sim_->now();
   ++kick_generation_;  // void the pending auto-resume kick
   obs::TraceRecorder& tr = sim_->obs().trace();
@@ -74,6 +79,22 @@ void NetDevice::resume_data() {
                 peer_->id(), peer_port_);
   }
   try_transmit();
+}
+
+void NetDevice::charge_blocked_flows(Time span_ns) {
+  obs::AttributionEngine& attr = sim_->obs().attribution();
+  if (!attr.enabled() || span_ns <= 0) return;
+  // Runs only at pause end and only with attribution on — the per-packet
+  // path never sees it. Each distinct flow is charged once per span even
+  // if several of its packets are queued (see attribution.hpp for the
+  // full-span approximation). (peer, peer_port) is the latch key the
+  // downstream pauser opened its span under.
+  std::set<std::uint64_t> seen;
+  for (const Queued& q : data_q_) {
+    if (q.pkt.is_control()) continue;
+    if (!seen.insert(q.pkt.flow_id).second) continue;
+    attr.on_flow_blocked(peer_->id(), peer_port_, q.pkt.flow_id, span_ns);
+  }
 }
 
 Time NetDevice::paused_time() const {

@@ -71,6 +71,9 @@ class NetDevice {
  private:
   void try_transmit();
   void finish_transmit(Queued item);
+  /// Attribution hook at pause end: charges every distinct flow still in
+  /// the data queue the whole pause span it just sat through.
+  void charge_blocked_flows(Time span_ns);
 
   Simulator* sim_;
   Node* peer_;

@@ -51,6 +51,12 @@ class Simulator {
 
   bool empty() const { return queue_.empty(); }
 
+  /// Timestamp of the earliest pending event (kTimeNever when the queue is
+  /// empty) — the flight recorder's "event-queue head" bundle field.
+  Time next_event_time() const {
+    return queue_.empty() ? kTimeNever : queue_.top().t;
+  }
+
   /// The run's observability context (stable address for the simulator's
   /// lifetime; counter handles and gauges registered here survive moves).
   obs::Observability& obs() { return *obs_; }

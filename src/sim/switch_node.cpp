@@ -46,6 +46,11 @@ int SwitchNode::add_port(Node* peer, int peer_port, Rate rate,
   pause_sent_.push_back(false);
   last_pause_sent_.push_back(-kTimeNever / 2);
 
+  // Unconditional (cheap, wiring-time-only) so attribution can be enabled
+  // after the topology is built.
+  sim_->obs().attribution().register_link(id(), idx, peer->id(), peer_port,
+                                          peer->is_switch());
+
   obs::Registry& reg = sim_->obs().registry();
   const std::string prefix =
       "switch." + std::to_string(id()) + ".port." + std::to_string(idx);
@@ -186,9 +191,15 @@ void SwitchNode::check_pfc_xoff(int in_port) {
       sim_->now() - last_pause_sent_[in_port] < cfg_.pfc_pause_duration / 2) {
     return;
   }
+  const bool fresh = !pause_sent_[in_port];
   pause_sent_[in_port] = true;
   last_pause_sent_[in_port] = sim_->now();
   pfc_sent_count_.inc();
+  if (fresh) {
+    sim_->obs().attribution().on_xoff(sim_->now(), id(), in_port,
+                                      ingress_bytes_[in_port],
+                                      xoff_threshold());
+  }
   obs::TraceRecorder& tr = sim_->obs().trace();
   if (tr.enabled(obs::TraceCategory::kPfc)) {
     tr.instant(obs::TraceCategory::kPfc, "pfc.xoff_tx", sim_->now(), id(),
@@ -219,6 +230,7 @@ void SwitchNode::pause_scan() {
     if (!pause_sent_[i]) continue;
     if (ingress_bytes_[i] < resume_below) {
       pause_sent_[i] = false;
+      sim_->obs().attribution().on_xon(sim_->now(), id(), i);
       ports_[i]->enqueue(make_pfc(PacketType::kPfcResume, 0), -1);
       continue;
     }
@@ -253,6 +265,7 @@ void SwitchNode::check_pfc_xon(int in_port) {
     return;
   }
   pause_sent_[in_port] = false;
+  sim_->obs().attribution().on_xon(sim_->now(), id(), in_port);
   ports_[in_port]->enqueue(make_pfc(PacketType::kPfcResume, 0), -1);
 }
 

@@ -1,6 +1,9 @@
 #include "stats/fct_tracker.hpp"
 
 #include <algorithm>
+#include <limits>
+
+#include "stats/percentile.hpp"
 
 namespace paraleon::stats {
 
@@ -52,6 +55,39 @@ std::vector<double> FctTracker::slowdowns(std::int64_t min_size,
     const Time ideal = std::max<Time>(1, ideal_(rec.size_bytes, rec.src, rec.dst));
     out.push_back(static_cast<double>(rec.finish - rec.start) /
                   static_cast<double>(ideal));
+  }
+  return out;
+}
+
+FctTracker::SlowdownStats FctTracker::slowdown_stats(
+    std::int64_t min_size, std::int64_t max_size) const {
+  std::vector<double> s = slowdowns(min_size, max_size);
+  SlowdownStats out;
+  out.count = s.size();
+  if (s.empty()) return out;
+  out.mean = mean(s);
+  out.p50 = quantile(s, 0.50);
+  out.p95 = quantile(s, 0.95);
+  out.p99 = quantile(s, 0.99);
+  out.p999 = quantile(std::move(s), 0.999);
+  return out;
+}
+
+const std::vector<FctTracker::SizeBucket>& FctTracker::size_buckets() {
+  static const std::vector<SizeBucket> kBuckets = {
+      {"lt_64k", 0, 64 * 1024},
+      {"64k_1m", 64 * 1024, 1024 * 1024},
+      {"1m_16m", 1024 * 1024, 16 * 1024 * 1024},
+      {"ge_16m", 16 * 1024 * 1024, std::numeric_limits<std::int64_t>::max()},
+  };
+  return kBuckets;
+}
+
+std::vector<std::pair<FctTracker::SizeBucket, FctTracker::SlowdownStats>>
+FctTracker::bucket_slowdowns() const {
+  std::vector<std::pair<SizeBucket, SlowdownStats>> out;
+  for (const SizeBucket& b : size_buckets()) {
+    out.emplace_back(b, slowdown_stats(b.min_size, b.max_size));
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -50,6 +51,31 @@ class FctTracker {
   /// Slowdowns of completed flows in the size band.
   std::vector<double> slowdowns(std::int64_t min_size,
                                 std::int64_t max_size) const;
+
+  /// Slowdown distribution summary for one size band (the paper reports
+  /// FCT slowdown; the tail quantiles are where mis-tuning shows first).
+  struct SlowdownStats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+  };
+  SlowdownStats slowdown_stats(std::int64_t min_size,
+                               std::int64_t max_size) const;
+
+  /// The standard reporting buckets: <64 KB, 64 KB–1 MB, 1–16 MB, >=16 MB.
+  struct SizeBucket {
+    const char* label;
+    std::int64_t min_size;
+    std::int64_t max_size;
+  };
+  static const std::vector<SizeBucket>& size_buckets();
+
+  /// slowdown_stats per standard size bucket (same order as
+  /// size_buckets(); empty buckets are included with count == 0).
+  std::vector<std::pair<SizeBucket, SlowdownStats>> bucket_slowdowns() const;
 
   /// Records of flows still running at `now` (for truncated experiments).
   std::vector<FlowRecord> unfinished() const;

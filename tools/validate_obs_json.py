@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
-"""Validate the observability JSON a bench dumps with --trace.
+"""Validate the observability JSON the benches and flight recorder emit.
 
-Usage: validate_obs_json.py OBS_JSON [TRACE_JSON]
+Usage:
+  validate_obs_json.py OBS_JSON [TRACE_JSON]
+  validate_obs_json.py --bundle BUNDLE_DIR
+  validate_obs_json.py --trace-only TRACE_JSON
 
 OBS_JSON is the per-run obs report (runner::obs_report_json): the full
-counter registry, trace-recorder totals and the tuning-episode timelines.
-TRACE_JSON is the Chrome trace-event file; when given, it is checked for
-Perfetto-loadable shape.
+counter registry, trace-recorder totals, tuning-episode timelines and the
+FCT slowdown summary. TRACE_JSON is the Chrome trace-event file; when
+given, it is checked for Perfetto-loadable shape.
+
+--bundle validates a flight-recorder post-mortem directory (manifest,
+config, replay.cfg, counters, trace, ports, episodes, attribution, and
+failure.json when the reason is check_failure), including cross-file
+consistency of seed and replay horizon. --trace-only checks just a trace
+file (e.g. the replay.trace.json a --replay-flight run writes back).
 
 Exits nonzero with a message on the first violation, so the CI smoke job
 fails loudly when an emitter drifts from the documented schema.
 """
 import json
+import os
 import re
 import sys
 
@@ -24,6 +34,14 @@ def fail(msg):
 def require(cond, msg):
     if not cond:
         fail(msg)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
 
 
 # Instrument names every traced kParaleon run must register: MMU, PFC,
@@ -58,16 +76,15 @@ PARAM_KEYS = {
 
 TRACE_CATEGORIES = {"packet", "pfc", "rp", "monitor", "sa"}
 
+QUANTILE_KEYS = {"count", "mean", "p50", "p95", "p99", "p999"}
 
-def check_obs(path):
-    with open(path) as f:
-        doc = json.load(f)
-    for key in ("registry", "trace", "episodes"):
-        require(key in doc, f"{path}: missing top-level key '{key}'")
+FLIGHT_REASONS = {"check_failure", "pfc_pause_rate", "mmu_drop_burst",
+                  "sa_revert", "utility_collapse"}
 
-    reg = doc["registry"]
+
+def check_registry(reg, where):
     require(set(reg) == {"counters", "gauges"},
-            f"{path}: registry must hold exactly counters+gauges")
+            f"{where}: registry must hold exactly counters+gauges")
     counters, gauges = reg["counters"], reg["gauges"]
     for name, value in counters.items():
         require(isinstance(value, int) and value >= 0,
@@ -75,6 +92,75 @@ def check_obs(path):
     for name, value in gauges.items():
         require(isinstance(value, (int, float)),
                 f"gauge {name} must be numeric, got {value!r}")
+    return counters, gauges
+
+
+def check_episodes(episodes, where):
+    require(isinstance(episodes, list), f"{where}: episodes must be a list")
+    n_trials = 0
+    for controller in episodes:
+        require(isinstance(controller, list),
+                f"{where}: per-controller episode log must be a list")
+        for ep in controller:
+            for key in ("index", "start_ms", "trigger", "kl_value",
+                        "start_params", "trials", "best_params",
+                        "best_utility", "reverted"):
+                require(key in ep, f"{where}: episode missing '{key}'")
+            require(ep["trigger"] in {"kl", "forced", "blind", "steady"},
+                    f"unknown trigger {ep['trigger']!r}")
+            require(set(ep["start_params"]) == PARAM_KEYS,
+                    "start_params keys drifted from the DCQCN parameter set")
+            for trial in ep["trials"]:
+                n_trials += 1
+                for key in ("t_ms", "iteration", "temperature", "params",
+                            "utility", "accepted"):
+                    require(key in trial, f"{where}: trial missing '{key}'")
+                require(isinstance(trial["accepted"], bool),
+                        "trial.accepted must be a bool")
+                require(set(trial["params"]) == PARAM_KEYS,
+                        "trial params keys drifted")
+    return n_trials
+
+
+def check_slowdown_stats(s, where):
+    require(set(s) == QUANTILE_KEYS,
+            f"{where}: slowdown stats keys drifted, got {sorted(s)}")
+    require(isinstance(s["count"], int) and s["count"] >= 0,
+            f"{where}: count must be a nonnegative int")
+    for key in QUANTILE_KEYS - {"count"}:
+        require(isinstance(s[key], (int, float)),
+                f"{where}: {key} must be numeric")
+    if s["count"] > 0:
+        require(s["p50"] <= s["p95"] <= s["p99"] <= s["p999"],
+                f"{where}: tail quantiles are not monotone")
+
+
+def check_fct(fct, where):
+    for key in ("started", "finished", "slowdown", "buckets"):
+        require(key in fct, f"{where}: fct missing '{key}'")
+    require(fct["finished"] <= fct["started"],
+            f"{where}: finished more flows than started")
+    check_slowdown_stats(fct["slowdown"], f"{where}.slowdown")
+    require(isinstance(fct["buckets"], list),
+            f"{where}: fct.buckets must be a list")
+    total = 0
+    for bucket in fct["buckets"]:
+        for key in ("label", "min_size", "stats"):
+            require(key in bucket, f"{where}: fct bucket missing '{key}'")
+        check_slowdown_stats(bucket["stats"],
+                             f"{where}.buckets[{bucket['label']}]")
+        total += bucket["stats"]["count"]
+    require(total == fct["slowdown"]["count"],
+            f"{where}: bucket counts sum to {total}, overall says "
+            f"{fct['slowdown']['count']}")
+
+
+def check_obs(path):
+    doc = load(path)
+    for key in ("registry", "trace", "episodes", "fct"):
+        require(key in doc, f"{path}: missing top-level key '{key}'")
+
+    counters, gauges = check_registry(doc["registry"], path)
     instruments = set(counters) | set(gauges)
     for pattern, what in REQUIRED_INSTRUMENTS:
         require(any(re.match(pattern, n) for n in instruments),
@@ -87,36 +173,17 @@ def check_obs(path):
             "trace totals inconsistent: total != recorded + dropped")
     require(tr["total"] > 0, "traced run recorded zero events")
 
-    require(isinstance(doc["episodes"], list), "episodes must be a list")
-    n_trials = 0
-    for controller in doc["episodes"]:
-        for ep in controller:
-            for key in ("index", "start_ms", "trigger", "kl_value",
-                        "start_params", "trials", "best_params",
-                        "best_utility", "reverted"):
-                require(key in ep, f"episode missing '{key}'")
-            require(ep["trigger"] in {"kl", "forced", "blind", "steady"},
-                    f"unknown trigger {ep['trigger']!r}")
-            require(set(ep["start_params"]) == PARAM_KEYS,
-                    "start_params keys drifted from the DCQCN parameter set")
-            for trial in ep["trials"]:
-                n_trials += 1
-                for key in ("t_ms", "iteration", "temperature", "params",
-                            "utility", "accepted"):
-                    require(key in trial, f"trial missing '{key}'")
-                require(isinstance(trial["accepted"], bool),
-                        "trial.accepted must be a bool")
-                require(set(trial["params"]) == PARAM_KEYS,
-                        "trial params keys drifted")
+    n_trials = check_episodes(doc["episodes"], path)
+    check_fct(doc["fct"], path)
     return len(counters) + len(gauges), tr["total"], n_trials
 
 
-def check_trace(path):
-    with open(path) as f:
-        doc = json.load(f)
+def check_trace(path, allow_empty=False):
+    doc = load(path)
     require("traceEvents" in doc, f"{path}: missing 'traceEvents'")
     events = doc["traceEvents"]
-    require(len(events) > 0, "trace file holds zero events")
+    if not allow_empty:
+        require(len(events) > 0, f"{path}: trace file holds zero events")
     spans_open = {}
     for ev in events:
         for key in ("name", "cat", "ph", "ts", "pid", "tid"):
@@ -137,10 +204,168 @@ def check_trace(path):
     return len(events)
 
 
+def check_attribution(path):
+    doc = load(path)
+    require(doc.get("schema") == "paraleon.attribution.v1",
+            f"{path}: bad schema {doc.get('schema')!r}")
+    require(isinstance(doc.get("enabled"), bool),
+            f"{path}: 'enabled' must be a bool")
+    engine = doc.get("engine")
+    require(isinstance(engine, dict), f"{path}: missing 'engine'")
+    for key in ("pause_spans", "pause_trees", "blocked_ns",
+                "rate_limited_ns"):
+        require(key in engine, f"{path}: engine missing '{key}'")
+
+    spans = engine["pause_spans"]
+    ids = set()
+    for s in spans:
+        for key in ("id", "pauser", "ingress_port", "paused", "paused_port",
+                    "paused_is_switch", "start_ns", "end_ns",
+                    "ingress_bytes", "threshold", "cause", "blocked_flows"):
+            require(key in s, f"{path}: pause span missing '{key}'")
+        require(s["end_ns"] == -1 or s["end_ns"] >= s["start_ns"],
+                f"span {s['id']} ends before it starts")
+        # Causality can only point backwards: span ids are issued in event
+        # order, so every cause must be an earlier span.
+        require(s["cause"] == -1 or (s["cause"] in ids),
+                f"span {s['id']} blames a non-earlier span {s['cause']}")
+        ids.add(s["id"])
+    by_id = {s["id"]: s for s in spans}
+    for tree in engine["pause_trees"]:
+        for key in ("root", "switch", "children"):
+            require(key in tree, f"{path}: pause tree missing '{key}'")
+        require(by_id[tree["root"]]["cause"] == -1,
+                f"tree root {tree['root']} is not a causality root")
+        for child in tree["children"]:
+            require(child in by_id, f"tree child {child} is not a span")
+
+    for name in ("blocked_ns", "rate_limited_ns"):
+        for flow, ns in engine[name].items():
+            require(isinstance(ns, int) and ns >= 0,
+                    f"{name}[{flow}] must be a nonnegative integer")
+
+    victims = doc.get("victims")
+    require(isinstance(victims, list), f"{path}: missing 'victims'")
+    prev_blocked = None
+    for v in victims:
+        for key in ("flow", "pfc_blocked_ns", "rate_limited_ns", "fct_ns",
+                    "ideal_ns", "queue_other_ns", "slowdown"):
+            require(key in v, f"{path}: victim missing '{key}'")
+        if v["fct_ns"] >= 0:
+            require(v["ideal_ns"] > 0, "completed victim with no ideal FCT")
+        if prev_blocked is not None:
+            require(v["pfc_blocked_ns"] <= prev_blocked,
+                    "victims are not sorted by blocked time")
+        prev_blocked = v["pfc_blocked_ns"]
+    return len(spans), len(victims)
+
+
+def parse_replay_cfg(path):
+    req = {}
+    try:
+        with open(path) as f:
+            for line in f:
+                parts = line.split()
+                if len(parts) == 2:
+                    req[parts[0]] = parts[1]
+    except OSError as e:
+        fail(f"{path}: {e}")
+    for key in ("seed", "trigger_ns", "replay_until_ns"):
+        require(key in req, f"{path}: missing '{key}'")
+        require(req[key].lstrip("-").isdigit(),
+                f"{path}: {key} must be an integer, got {req[key]!r}")
+    return {k: int(v) for k, v in req.items()}
+
+
+def check_bundle(bundle_dir):
+    require(os.path.isdir(bundle_dir), f"{bundle_dir}: not a directory")
+    manifest_path = os.path.join(bundle_dir, "manifest.json")
+    manifest = load(manifest_path)
+    require(manifest.get("schema") == "paraleon.flight.v1",
+            f"{manifest_path}: bad schema {manifest.get('schema')!r}")
+    for key in ("reason", "trigger_ns", "seed", "scheme", "events_executed",
+                "queue_depth", "next_event_ns", "replay_until_ns", "files"):
+        require(key in manifest, f"{manifest_path}: missing '{key}'")
+    reason = manifest["reason"]
+    require(reason in FLIGHT_REASONS, f"unknown bundle reason {reason!r}")
+    require(manifest["replay_until_ns"] > manifest["trigger_ns"],
+            "replay horizon does not extend past the trigger")
+    for name in manifest["files"]:
+        require(os.path.isfile(os.path.join(bundle_dir, name)),
+                f"manifest lists {name} but the bundle lacks it")
+    require("failure.json" in manifest["files"]
+            if reason == "check_failure"
+            else "failure.json" not in manifest["files"],
+            "failure.json presence must match reason == check_failure")
+
+    config = load(os.path.join(bundle_dir, "config.json"))
+    for key in ("scheme", "seed", "duration_ns", "n_tor", "n_leaf",
+                "hosts_per_tor", "host_link_bps", "fabric_link_bps",
+                "prop_delay_ns", "buffer_bytes", "pfc_alpha",
+                "pfc_pause_duration_ns"):
+        require(key in config, f"config.json missing '{key}'")
+    require(config["seed"] == manifest["seed"],
+            "config.json and manifest.json disagree on the seed")
+
+    replay = parse_replay_cfg(os.path.join(bundle_dir, "replay.cfg"))
+    for key in ("seed", "trigger_ns", "replay_until_ns"):
+        require(replay[key] == manifest[key],
+                f"replay.cfg and manifest.json disagree on {key}")
+
+    check_registry(load(os.path.join(bundle_dir, "counters.json")),
+                   "counters.json")
+    # The original run may not have traced (that is what replay is for), so
+    # an empty ring tail is legal here.
+    n_trace = check_trace(os.path.join(bundle_dir, "trace.json"),
+                          allow_empty=True)
+
+    ports_path = os.path.join(bundle_dir, "ports.json")
+    ports = load(ports_path)
+    require(ports.get("schema") == "paraleon.ports.v1",
+            f"{ports_path}: bad schema {ports.get('schema')!r}")
+    require(len(ports.get("switches", [])) > 0, "ports.json lists no switch")
+    for sw in ports["switches"]:
+        for key in ("kind", "index", "id", "buffer_used", "ports"):
+            require(key in sw, f"ports.json switch missing '{key}'")
+        require(sw["kind"] in {"tor", "leaf"},
+                f"unknown switch kind {sw['kind']!r}")
+        for port in sw["ports"]:
+            for key in ("port", "queue_bytes", "paused_ns", "data_paused",
+                        "pause_latched", "ingress_bytes", "tx_data_bytes"):
+                require(key in port, f"ports.json port missing '{key}'")
+    for host in ports.get("hosts", []):
+        require("id" in host and "uplink" in host,
+                "ports.json host missing id/uplink")
+
+    n_trials = check_episodes(load(os.path.join(bundle_dir, "episodes.json")),
+                              "episodes.json")
+    n_spans, n_victims = check_attribution(
+        os.path.join(bundle_dir, "attribution.json"))
+
+    if reason == "check_failure":
+        failure = load(os.path.join(bundle_dir, "failure.json"))
+        for key in ("expression", "file", "line", "message"):
+            require(key in failure, f"failure.json missing '{key}'")
+
+    print(f"validate_obs_json: bundle OK: reason={reason} "
+          f"seed={manifest['seed']} trigger_ns={manifest['trigger_ns']} "
+          f"{n_trace} trace events, {n_trials} SA trials, "
+          f"{n_spans} pause spans, {n_victims} victims")
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
         sys.exit(2)
+    if sys.argv[1] == "--bundle":
+        require(len(sys.argv) == 3, "--bundle takes exactly one directory")
+        check_bundle(sys.argv[2])
+        return
+    if sys.argv[1] == "--trace-only":
+        require(len(sys.argv) == 3, "--trace-only takes exactly one file")
+        n_events = check_trace(sys.argv[2])
+        print(f"validate_obs_json: trace file OK: {n_events} events")
+        return
     n_instruments, n_trace, n_trials = check_obs(sys.argv[1])
     msg = (f"obs report OK: {n_instruments} instruments, "
            f"{n_trace} trace events, {n_trials} SA trials")
