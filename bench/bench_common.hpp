@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -54,6 +55,12 @@ inline std::string scaling_note(const ExperimentConfig& cfg,
 /// buffer-accounting fault mid-run so CI can trip a dump on demand, and
 /// `--replay-flight BUNDLE_DIR` re-runs a bundle's seed with all tracing
 /// on instead of the bench's normal run.
+///
+/// Parallel-execution flags: `--jobs N` sets the thread-pool worker count
+/// benches pass to exec::parallel_map (0 = one per hardware thread,
+/// default 1 = serial), `--sweep N` asks a sweep-capable bench (fig8) to
+/// run N seeds serial-then-parallel and verify the digests match, and
+/// `--sweep-out FILE` writes that comparison as a JSON artifact.
 struct ObsCli {
   bool trace = false;
   bool tiny = false;
@@ -61,6 +68,9 @@ struct ObsCli {
   bool flight_fault = false;
   std::string replay_bundle;  // empty = no replay requested
   std::string out_dir = ".";
+  int jobs = 1;          // parallel_map worker count (0 = hardware)
+  int sweep = 0;         // 0 = no sweep mode requested
+  std::string sweep_out; // empty = print only, no JSON artifact
 };
 
 inline ObsCli parse_obs_cli(int argc, char** argv) {
@@ -79,6 +89,12 @@ inline ObsCli parse_obs_cli(int argc, char** argv) {
       cli.replay_bundle = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
       cli.out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      cli.jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      cli.sweep = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sweep-out") == 0 && i + 1 < argc) {
+      cli.sweep_out = argv[++i];
     }
   }
   return cli;
@@ -90,7 +106,9 @@ inline ObsCli parse_obs_cli(int argc, char** argv) {
 inline int strip_obs_cli(int argc, char** argv) {
   const auto takes_value = [](const char* a) {
     return std::strcmp(a, "--obs-out") == 0 ||
-           std::strcmp(a, "--replay-flight") == 0;
+           std::strcmp(a, "--replay-flight") == 0 ||
+           std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "--sweep") == 0 ||
+           std::strcmp(a, "--sweep-out") == 0;
   };
   const auto is_flag = [](const char* a) {
     return std::strcmp(a, "--trace") == 0 || std::strcmp(a, "--tiny") == 0 ||

@@ -8,12 +8,15 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "exec/shadow_fleet.hpp"
 
 using namespace paraleon;
 using namespace paraleon::bench;
 using namespace paraleon::runner;
 
 namespace {
+
+ObsCli g_cli;
 
 stats::TimeSeries run_trace(Scheme s, bool llm) {
   ExperimentConfig cfg = paper_fabric(s, 53);
@@ -60,15 +63,59 @@ void compare(const char* title, bool llm) {
               paraleon.mean_in(milliseconds(200), milliseconds(300)));
 }
 
+/// Shadow-fleet section: the same guided-SA episode driven offline over a
+/// recorded workload window, with K candidate settings per temperature
+/// step evaluated in K concurrent shadow experiments. K=1 is the serial
+/// chain (byte-identical to step-driven SA — the determinism test proves
+/// it); K=4 shows the wall-clock win of speculative parallel evaluation.
+void shadow_fleet_section() {
+  std::printf("\n-- shadow-fleet SA: K candidates per temperature step --\n");
+  exec::ShadowWindow w;
+  w.base = g_cli.tiny ? small_fabric(Scheme::kCustomStatic, 53)
+                      : paper_fabric(Scheme::kCustomStatic, 53);
+  w.base.duration = g_cli.tiny ? milliseconds(5) : milliseconds(10);
+  w.setup = [](Experiment& exp) {
+    exp.add_poisson(fb_hadoop(exp, 0.3, exp.config().duration, 5301));
+  };
+  w.measure_from = milliseconds(2);
+  w.weights = {0.2, 0.5, 0.3};
+  const dcqcn::DcqcnParams start = dcqcn::scaled_for_line_rate(
+      dcqcn::default_params(), gbps(100), w.base.clos.host_link);
+  core::SaConfig sa;
+  sa.total_iter_num = g_cli.tiny ? 2 : 3;
+  sa.cooling_rate = 0.5;
+
+  std::printf("%-4s %-7s %-7s %-12s %-8s\n", "K", "evals", "batches",
+              "best_util", "wall_s");
+  for (const int k : {1, 4}) {
+    exec::ShadowFleetConfig fcfg;
+    fcfg.sa = sa;
+    fcfg.fleet_size = k;
+    // 0 = one worker per candidate; an explicit --jobs caps the fleet.
+    fcfg.jobs = g_cli.jobs == 1 ? 0 : g_cli.jobs;
+    fcfg.seed = 77;
+    const exec::ShadowFleetResult res = exec::ShadowFleet(fcfg).tune(w, start);
+    std::printf("%-4d %-7d %-7d %-12.4f %-8.2f\n", k, res.evaluations,
+                res.batches, res.best_utility, res.wall_seconds);
+  }
+  std::printf(
+      "K=1 reproduces the serial tuner exactly; K=4 spends more total\n"
+      "evaluations (speculative siblings) but fewer wall-clock batches.\n");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_cli = parse_obs_cli(argc, argv);
   print_header("Fig. 12: SA ablation — utility convergence, naive vs guided",
                scaling_note(paper_fabric(Scheme::kParaleon, 53),
                             "one forced tuning episode; 10 iters/temp, "
                             "x0.85 cooling (Table III shape)"));
-  compare("(a) FB_Hadoop @30%", /*llm=*/false);
-  compare("(b) LLM training alltoall", /*llm=*/true);
+  if (!g_cli.tiny) {
+    compare("(a) FB_Hadoop @30%", /*llm=*/false);
+    compare("(b) LLM training alltoall", /*llm=*/true);
+  }
+  shadow_fleet_section();
   std::printf(
       "\nPaper Fig. 12 shape: PARALEON reaches a higher utility plateau\n"
       "within dozens of MIs; naive_SA stays lower/slower. The FB_Hadoop\n"

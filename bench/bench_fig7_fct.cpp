@@ -6,9 +6,17 @@
 // Reproduced shape: PARALEON at or near the best on mice AND elephants;
 // the single-mechanism baselines (ACC: switch-only, DCQCN+: RNIC-only)
 // land between Default and PARALEON.
+//
+// Each scheme row is one independent Experiment, so the rows of every
+// table are computed through exec::parallel_map (`--jobs N` fans them
+// out) and printed in scheme order afterwards — the table is identical
+// at any worker count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "exec/parallel_map.hpp"
 
 using namespace paraleon;
 using namespace paraleon::bench;
@@ -16,9 +24,36 @@ using namespace paraleon::runner;
 
 namespace {
 
-constexpr Scheme kSchemes[] = {Scheme::kDefaultStatic, Scheme::kExpertStatic,
-                               Scheme::kAcc, Scheme::kDcqcnPlus,
-                               Scheme::kParaleon};
+ObsCli g_cli;
+
+const std::vector<Scheme> kSchemes = {Scheme::kDefaultStatic,
+                                      Scheme::kExpertStatic, Scheme::kAcc,
+                                      Scheme::kDcqcnPlus, Scheme::kParaleon};
+
+std::string fb_hadoop_row(Scheme s) {
+  ExperimentConfig cfg = paper_fabric(s, 3);
+  cfg.duration = g_cli.tiny ? milliseconds(80) : milliseconds(700);
+  Experiment exp(cfg);
+  exp.add_poisson(fb_hadoop(exp, 0.2,
+                            cfg.duration - milliseconds(20), 1003));
+  exp.run();
+  const auto band = [&](std::int64_t lo, std::int64_t hi) {
+    return exp.fct().slowdowns(lo, hi);
+  };
+  const auto small = band(0, 120 << 10);
+  const auto mid = band(120 << 10, 1 << 20);
+  const auto big = band(1 << 20, 1ll << 40);
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "%-10s %5zu/%-5zu | %-10.2f %-10.2f | %-10.2f %-10.2f | %-10.2f "
+      "%-10.2f",
+      scheme_name(s).c_str(), exp.fct().finished(), exp.fct().started(),
+      stats::mean(small), stats::quantile(small, 0.999), stats::mean(mid),
+      stats::quantile(mid, 0.999), stats::mean(big),
+      stats::quantile(big, 0.999));
+  return buf;
+}
 
 void fb_hadoop_part() {
   // Load is defined on host uplinks; with the 4:1 core and ~87% of pairs
@@ -30,26 +65,30 @@ void fb_hadoop_part() {
   std::printf("%-10s %-7s | %-10s %-10s | %-10s %-10s | %-10s %-10s\n",
               "scheme", "flows", "avg", "p99.9", "avg", "p99.9", "avg",
               "p99.9");
-  for (Scheme s : kSchemes) {
-    ExperimentConfig cfg = paper_fabric(s, 3);
-    cfg.duration = milliseconds(700);
-    Experiment exp(cfg);
-    exp.add_poisson(fb_hadoop(exp, 0.2, milliseconds(680), 1003));
-    exp.run();
-    const auto band = [&](std::int64_t lo, std::int64_t hi) {
-      return exp.fct().slowdowns(lo, hi);
-    };
-    const auto small = band(0, 120 << 10);
-    const auto mid = band(120 << 10, 1 << 20);
-    const auto big = band(1 << 20, 1ll << 40);
-    std::printf(
-        "%-10s %5zu/%-5zu | %-10.2f %-10.2f | %-10.2f %-10.2f | %-10.2f "
-        "%-10.2f\n",
-        scheme_name(s).c_str(), exp.fct().finished(), exp.fct().started(),
-        stats::mean(small), stats::quantile(small, 0.999), stats::mean(mid),
-        stats::quantile(mid, 0.999), stats::mean(big),
-        stats::quantile(big, 0.999));
+  const auto rows = exec::parallel_map(kSchemes, fb_hadoop_row, g_cli.jobs);
+  for (const std::string& row : rows) std::printf("%s\n", row.c_str());
+}
+
+std::string llm_row(Scheme s, int workers) {
+  ExperimentConfig cfg = paper_fabric(s, 5);
+  cfg.duration = g_cli.tiny ? milliseconds(60) : milliseconds(400);
+  Experiment exp(cfg);
+  workload::AlltoallConfig a2a;
+  for (int i = 0; i < workers; ++i) {
+    a2a.workers.push_back(i * (64 / workers));
   }
+  a2a.flow_size = 512 * 1024;
+  a2a.off_period = milliseconds(2);
+  auto& w = exp.add_alltoall(a2a);
+  exp.run();
+  auto fcts = exp.fct().fct_seconds(0, 1ll << 40);
+  for (auto& f : fcts) f *= 1e3;  // ms
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-10s %-10.2f %-10.2f %-10.2f %-10.2f %-10d",
+                scheme_name(s).c_str(), stats::quantile(fcts, 0.5),
+                stats::quantile(fcts, 0.9), stats::quantile(fcts, 0.99),
+                stats::quantile(fcts, 1.0), w.rounds_completed());
+  return buf;
 }
 
 void llm_part(int workers) {
@@ -57,30 +96,16 @@ void llm_part(int workers) {
               workers);
   std::printf("%-10s %-10s %-10s %-10s %-10s %-10s\n", "scheme", "p50_ms",
               "p90_ms", "p99_ms", "max_ms", "rounds");
-  for (Scheme s : kSchemes) {
-    ExperimentConfig cfg = paper_fabric(s, 5);
-    cfg.duration = milliseconds(400);
-    Experiment exp(cfg);
-    workload::AlltoallConfig a2a;
-    for (int i = 0; i < workers; ++i) {
-      a2a.workers.push_back(i * (64 / workers));
-    }
-    a2a.flow_size = 512 * 1024;
-    a2a.off_period = milliseconds(2);
-    auto& w = exp.add_alltoall(a2a);
-    exp.run();
-    auto fcts = exp.fct().fct_seconds(0, 1ll << 40);
-    for (auto& f : fcts) f *= 1e3;  // ms
-    std::printf("%-10s %-10.2f %-10.2f %-10.2f %-10.2f %-10d\n",
-                scheme_name(s).c_str(), stats::quantile(fcts, 0.5),
-                stats::quantile(fcts, 0.9), stats::quantile(fcts, 0.99),
-                stats::quantile(fcts, 1.0), w.rounds_completed());
-  }
+  const auto rows = exec::parallel_map(
+      kSchemes, [workers](Scheme s) { return llm_row(s, workers); },
+      g_cli.jobs);
+  for (const std::string& row : rows) std::printf("%s\n", row.c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_cli = parse_obs_cli(argc, argv);
   print_header("Fig. 7: FCT of 5 tuning schemes (FB_Hadoop + LLM alltoall)",
                scaling_note(paper_fabric(Scheme::kParaleon, 3),
                             "400 ms, flows scaled (paper: 128 hosts @100G "

@@ -5,9 +5,14 @@
 // Reproduced shape: during the influx PARALEON drops RTT (mice-dominant
 // FSD -> delay-friendly setting) below the other schemes, then restores
 // throughput for the remaining elephants after the burst.
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "exec/parallel_sweep.hpp"
+#include "exec/thread_pool.hpp"
 #include "runner/flight.hpp"
 
 using namespace paraleon;
@@ -111,6 +116,80 @@ int run_replay(const std::string& bundle) {
   return 0;
 }
 
+/// --sweep N: run the fig8 PARALEON configuration over N seeds twice —
+/// once serial (jobs=1), once on the thread pool (--jobs, <=1 meaning one
+/// worker per hardware thread) — verify the per-seed run_digests are
+/// byte-identical, and report both wall-clocks. With --sweep-out FILE the
+/// comparison lands as a JSON artifact (the CI bench job archives it).
+/// Exit nonzero on any digest mismatch: the determinism contract of
+/// docs/PARALLELISM.md, checked on the real bench workload.
+int run_sweep(int n) {
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < n; ++i) seeds.push_back(100 + static_cast<unsigned>(i));
+  const auto make = [](std::uint64_t seed) {
+    ExperimentConfig cfg = fig8_config(Scheme::kParaleon);
+    cfg.seed = seed;
+    auto exp = std::make_unique<Experiment>(std::move(cfg));
+    setup_workloads(*exp);
+    return exp;
+  };
+  const auto metric = [](Experiment& exp) {
+    return exp.throughput_series().mean_in(0, exp.config().duration);
+  };
+  const auto timed = [&](int jobs) {
+    exec::ParallelSweepConfig scfg;
+    scfg.jobs = jobs;
+    const auto t0 = std::chrono::steady_clock::now();
+    exec::SweepOutcome out = exec::sweep_experiments(seeds, make, metric, scfg);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return std::make_pair(std::move(out), dt.count());
+  };
+
+  const int par_jobs = g_cli.jobs <= 1 ? 0 : g_cli.jobs;
+  std::printf("# sweep: %d seeds, serial then jobs=%d (0 = hardware)\n", n,
+              par_jobs);
+  const auto [serial, serial_s] = timed(1);
+  const auto [parallel, parallel_s] = timed(par_jobs);
+
+  bool match = serial.runs.size() == parallel.runs.size();
+  for (std::size_t i = 0; match && i < serial.runs.size(); ++i) {
+    match = serial.runs[i].seed == parallel.runs[i].seed &&
+            serial.runs[i].digest == parallel.runs[i].digest;
+  }
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  std::printf("# sweep: serial %.2fs, parallel %.2fs (%.2fx), digests %s\n",
+              serial_s, parallel_s, speedup, match ? "MATCH" : "MISMATCH");
+
+  if (!g_cli.sweep_out.empty()) {
+    std::ofstream f(g_cli.sweep_out);
+    f << "{\n  \"bench\": \"fig8_sweep\",\n";
+    f << "  \"seeds\": " << n << ",\n";
+    f << "  \"jobs\": " << par_jobs << ",\n";
+    f << "  \"hardware_workers\": " << exec::ThreadPool::hardware_workers()
+      << ",\n";
+    f << "  \"serial_seconds\": " << serial_s << ",\n";
+    f << "  \"parallel_seconds\": " << parallel_s << ",\n";
+    f << "  \"speedup\": " << speedup << ",\n";
+    f << "  \"digests_match\": " << (match ? "true" : "false") << ",\n";
+    f << "  \"runs\": [";
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+      f << (i ? "," : "") << "\n    {\"seed\": " << serial.runs[i].seed
+        << ", \"value\": " << serial.runs[i].value << ", \"digest\": \""
+        << std::hex << serial.runs[i].digest << std::dec << "\"}";
+    }
+    f << "\n  ]\n}\n";
+    std::printf("# sweep: wrote %s\n", g_cli.sweep_out.c_str());
+  }
+  if (!match) {
+    std::fprintf(stderr,
+                 "sweep: parallel digests diverged from serial — the "
+                 "determinism contract is broken\n");
+    return 1;
+  }
+  return 0;
+}
+
 void run_scheme(Scheme s) {
   ExperimentConfig cfg = fig8_config(s);
   const Time influx_start = g_cli.tiny ? milliseconds(20) : kInfluxStart;
@@ -145,6 +224,7 @@ int main(int argc, char** argv) {
   g_cli = parse_obs_cli(argc, argv);
   if (!g_cli.replay_bundle.empty()) return run_replay(g_cli.replay_bundle);
   if (g_cli.flight_fault) return run_flight_fault();
+  if (g_cli.sweep > 0) return run_sweep(g_cli.sweep);
   print_header("Fig. 8: runtime throughput & RTT across a FB_Hadoop influx",
                scaling_note(fig8_config(Scheme::kParaleon),
                             "LLM alltoall background + 30 ms FB_Hadoop burst "

@@ -45,46 +45,83 @@ dcqcn::DcqcnParams SaTuner::mutate(double elephant_share) {
   return space_.mutate_guided(current_solution_, p_throughput, rng_);
 }
 
+void SaTuner::accept_measurement(double measured_utility,
+                                 const dcqcn::DcqcnParams& candidate) {
+  // Metropolis acceptance for the measured candidate (Algorithm 1, lines
+  // 6-13).
+  const double delta = measured_utility - current_util_;
+  const double accept_temp =
+      std::max(1e-9, temp_ * cfg_.acceptance_temp_scale);
+  last_accepted_ =
+      delta > 0.0 || std::exp(delta / accept_temp) > rng_.uniform();
+  if (last_accepted_) {
+    current_util_ = measured_utility;
+    current_solution_ = candidate;
+  }
+  if (current_util_ > best_util_) {
+    best_util_ = current_util_;
+    best_solution_ = current_solution_;
+  }
+  ++iter_in_temp_;
+  ++total_iterations_;
+  if (iter_in_temp_ >= cfg_.total_iter_num) {
+    iter_in_temp_ = 0;
+    temp_ *= cfg_.cooling_rate;
+    if (temp_ < cfg_.final_temp) active_ = false;
+  }
+}
+
 dcqcn::DcqcnParams SaTuner::step(double measured_utility,
                                  double elephant_share) {
   if (!active_) return best_solution_;
 
   if (first_step_) {
     // The measurement belongs to the pre-episode setting: seed the state.
-    first_step_ = false;
-    last_accepted_ = true;
-    current_util_ = measured_utility;
-    best_util_ = measured_utility;
+    seed_utility(measured_utility);
   } else {
-    // Metropolis acceptance for the last candidate (Algorithm 1, lines
-    // 6-13).
-    const double delta = measured_utility - current_util_;
-    const double accept_temp =
-        std::max(1e-9, temp_ * cfg_.acceptance_temp_scale);
-    last_accepted_ =
-        delta > 0.0 || std::exp(delta / accept_temp) > rng_.uniform();
-    if (last_accepted_) {
-      current_util_ = measured_utility;
-      current_solution_ = candidate_;
-    }
-    if (current_util_ > best_util_) {
-      best_util_ = current_util_;
-      best_solution_ = current_solution_;
-    }
-    ++iter_in_temp_;
-    ++total_iterations_;
-    if (iter_in_temp_ >= cfg_.total_iter_num) {
-      iter_in_temp_ = 0;
-      temp_ *= cfg_.cooling_rate;
-      if (temp_ < cfg_.final_temp) {
-        active_ = false;
-        return best_solution_;
-      }
-    }
+    accept_measurement(measured_utility, candidate_);
+    if (!active_) return best_solution_;
   }
 
   candidate_ = mutate(elephant_share);
   return candidate_;
+}
+
+void SaTuner::seed_utility(double measured_utility) {
+  if (!active_ || !first_step_) return;
+  first_step_ = false;
+  last_accepted_ = true;
+  current_util_ = measured_utility;
+  best_util_ = measured_utility;
+}
+
+std::vector<dcqcn::DcqcnParams> SaTuner::propose_batch(int k,
+                                                       double elephant_share) {
+  batch_.clear();
+  if (!active_) return batch_;
+  for (int i = 0; i < k; ++i) {
+    // Every candidate mutates from the *current* solution: the batch
+    // speculates k siblings of one parent, which is what keeps k == 1
+    // identical to the serial chain (one mutate per accepted step).
+    batch_.push_back(mutate(elephant_share));
+  }
+  return batch_;
+}
+
+std::vector<SaTuner::BatchOutcome> SaTuner::observe_batch(
+    const std::vector<double>& utilities) {
+  std::vector<BatchOutcome> outcomes;
+  const std::size_t n = std::min(utilities.size(), batch_.size());
+  for (std::size_t i = 0; i < n && active_; ++i) {
+    accept_measurement(utilities[i], batch_[i]);
+    BatchOutcome o;
+    o.accepted = last_accepted_;
+    o.iteration = total_iterations_;
+    o.temperature = temp_;
+    outcomes.push_back(o);
+  }
+  batch_.clear();
+  return outcomes;
 }
 
 }  // namespace paraleon::core

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/param_space.hpp"
@@ -70,6 +71,40 @@ class SaTuner {
   /// episode runs, or the best-seen setting once it finished.
   dcqcn::DcqcnParams step(double measured_utility, double elephant_share);
 
+  // ---- batched episode driving (exec::ShadowFleet) ----
+  //
+  // The shadow-fleet mode evaluates candidates in concurrent shadow
+  // experiments instead of live monitor intervals, so the episode is
+  // driven explicitly: seed_utility() replaces the first, seeding step;
+  // each round then calls propose_batch(k) and observe_batch(utilities).
+  // With k == 1 the RNG draw sequence (one mutate per proposal, one
+  // uniform per non-improving acceptance test) is identical to the serial
+  // step() loop, so the episode reproduces byte-for-byte.
+
+  /// Records the utility measured under the episode's start setting (what
+  /// the first step() call does) without proposing anything.
+  void seed_utility(double measured_utility);
+
+  /// Proposes k candidates, each mutated from the *current* solution (the
+  /// batch is speculative: candidates are siblings, not a chain). Returns
+  /// fewer than k only when the episode is inactive (then: empty).
+  std::vector<dcqcn::DcqcnParams> propose_batch(int k, double elephant_share);
+
+  /// Per-candidate outcome of observe_batch, in candidate order.
+  struct BatchOutcome {
+    bool accepted = false;
+    int iteration = 0;         // iterations_done() after this candidate
+    double temperature = 0.0;  // temperature() after this candidate
+  };
+
+  /// Applies the Metropolis test to each proposed candidate in order
+  /// against `utilities[i]` (0-100 scale). Iteration counting and cooling
+  /// advance per candidate, exactly as serial steps would; if the schedule
+  /// finishes mid-batch the remaining measurements are discarded and the
+  /// returned vector is short.
+  std::vector<BatchOutcome> observe_batch(
+      const std::vector<double>& utilities);
+
   const dcqcn::DcqcnParams& best() const { return best_solution_; }
   double best_utility() const { return best_util_; }
   double temperature() const { return temp_; }
@@ -81,6 +116,10 @@ class SaTuner {
 
  private:
   dcqcn::DcqcnParams mutate(double elephant_share);
+  /// One Metropolis acceptance + iteration/cooling advance for a measured
+  /// candidate — the shared core of step() and observe_batch().
+  void accept_measurement(double measured_utility,
+                          const dcqcn::DcqcnParams& candidate);
 
   ParamSpace space_;
   SaConfig cfg_;
@@ -96,6 +135,7 @@ class SaTuner {
 
   dcqcn::DcqcnParams current_solution_;
   dcqcn::DcqcnParams candidate_;
+  std::vector<dcqcn::DcqcnParams> batch_;  // propose_batch awaiting observe
   dcqcn::DcqcnParams best_solution_;
   double current_util_ = 0.0;
   double best_util_ = 0.0;

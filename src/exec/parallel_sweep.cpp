@@ -1,0 +1,31 @@
+#include "exec/parallel_sweep.hpp"
+
+#include "exec/parallel_map.hpp"
+
+namespace paraleon::exec {
+
+SweepOutcome sweep_experiments(const std::vector<std::uint64_t>& seeds,
+                               const MakeExperimentFn& make,
+                               const MetricFn& metric,
+                               const ParallelSweepConfig& cfg) {
+  SweepOutcome out;
+  out.runs = parallel_map(
+      seeds,
+      [&make, &metric, &cfg](std::uint64_t seed) {
+        std::unique_ptr<runner::Experiment> exp = make(seed);
+        exp->run();
+        SweepJobResult r;
+        r.seed = seed;
+        r.value = metric(*exp);
+        if (cfg.capture_digests) r.digest = runner::run_digest(*exp);
+        return r;
+      },
+      cfg.jobs);
+  std::vector<double> values;
+  values.reserve(out.runs.size());
+  for (const auto& r : out.runs) values.push_back(r.value);
+  out.stats = runner::aggregate_sweep(values);
+  return out;
+}
+
+}  // namespace paraleon::exec

@@ -1,0 +1,68 @@
+// ParallelSweep: fan independent Experiment runs across the thread pool.
+//
+// Each job builds, runs and owns a complete Experiment (its own Simulator,
+// RNG streams, counter registry, trace recorder — nothing shared between
+// jobs; see the thread-compatibility contract in runner/experiment.hpp)
+// and captures the run's telemetry digest, so a parallel sweep is provably
+// byte-identical to the serial one: same seeds in, same per-seed digests
+// out, whatever the worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
+
+namespace paraleon::exec {
+
+/// Builds the ready-to-run Experiment for one seed: config + workloads.
+/// Called once per seed, possibly concurrently — it must not touch state
+/// shared with other jobs (capturing immutable config by value is the
+/// pattern; see the benches).
+using MakeExperimentFn =
+    std::function<std::unique_ptr<runner::Experiment>(std::uint64_t seed)>;
+
+/// Extracts the sweep's scalar metric from a finished run.
+using MetricFn = std::function<double(runner::Experiment&)>;
+
+struct SweepJobResult {
+  std::uint64_t seed = 0;
+  double value = 0.0;
+  /// runner::run_digest of this seed's run (0 when capture was disabled).
+  std::uint64_t digest = 0;
+};
+
+struct SweepOutcome {
+  runner::SweepStats stats;
+  /// One entry per requested seed, in seed-list order regardless of which
+  /// worker ran it or when it finished.
+  std::vector<SweepJobResult> runs;
+
+  std::vector<double> values() const {
+    std::vector<double> v;
+    v.reserve(runs.size());
+    for (const auto& r : runs) v.push_back(r.value);
+    return v;
+  }
+};
+
+struct ParallelSweepConfig {
+  /// Worker count: 1 = serial on the calling thread (the exact old
+  /// sweep_seeds path), 0 = one per hardware core.
+  int jobs = 1;
+  /// Hash every run with runner::run_digest (the serial-vs-parallel
+  /// equivalence check). Costs one pass over the run's telemetry.
+  bool capture_digests = true;
+};
+
+/// Runs make(seed) -> run() -> metric() for every seed across the pool and
+/// returns values, digests and aggregate statistics in seed order.
+SweepOutcome sweep_experiments(const std::vector<std::uint64_t>& seeds,
+                               const MakeExperimentFn& make,
+                               const MetricFn& metric,
+                               const ParallelSweepConfig& cfg = {});
+
+}  // namespace paraleon::exec

@@ -1,0 +1,93 @@
+#include "exec/shadow_fleet.hpp"
+
+#include <chrono>
+#include <cstddef>
+
+#include "core/monitor.hpp"
+#include "core/param_space.hpp"
+#include "exec/parallel_map.hpp"
+
+namespace paraleon::exec {
+
+ShadowFleet::ShadowFleet(ShadowFleetConfig cfg) : cfg_(cfg) {
+  if (cfg_.fleet_size < 1) cfg_.fleet_size = 1;
+}
+
+double ShadowFleet::evaluate(const ShadowWindow& window,
+                             const dcqcn::DcqcnParams& candidate) {
+  runner::ExperimentConfig cfg = window.base;
+  cfg.scheme = runner::Scheme::kCustomStatic;
+  cfg.custom_params = candidate;
+  runner::Experiment exp(cfg);
+  if (window.setup) window.setup(exp);
+
+  // Sample the utility inputs once per monitor interval, like the live
+  // controller does, and average the window. The tick closure lives on
+  // this stack frame, which outlives every event that copies it.
+  core::MetricCollector collector(&exp.topology());
+  const Time mi = cfg.controller.mi;
+  double util_sum = 0.0;
+  int util_n = 0;
+  std::function<void()> tick;
+  sim::Simulator& sim = exp.simulator();
+  tick = [&] {
+    const core::NetworkMetrics m = collector.collect(mi);
+    if (sim.now() >= window.measure_from) {
+      util_sum += core::utility(m, window.weights);
+      ++util_n;
+    }
+    sim.schedule_in(mi, tick, "exec.shadow_probe");
+  };
+  sim.schedule_at(mi, tick, "exec.shadow_probe");
+  exp.run();
+  return util_n == 0 ? 0.0
+                     : util_sum / static_cast<double>(util_n) *
+                           core::kUtilityScale;
+}
+
+ShadowFleetResult ShadowFleet::tune(const ShadowWindow& window,
+                                    const dcqcn::DcqcnParams& start) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ShadowFleetResult res;
+  core::SaTuner sa(
+      core::ParamSpace::standard(window.base.clos.host_link,
+                                 window.base.clos.switch_cfg.buffer_bytes),
+      cfg_.sa, cfg_.seed);
+
+  sa.begin_episode(start);
+  const double u0 = evaluate(window, start);
+  sa.seed_utility(u0);
+  res.evaluations = 1;
+  res.episodes.begin(0, "shadow", 0.0, start);
+  res.episodes.add_trial(
+      {0, sa.iterations_done(), sa.temperature(), start, u0, true});
+
+  const int jobs = cfg_.jobs == 0 ? cfg_.fleet_size : cfg_.jobs;
+  Time clock = 1;  // pseudo-time: one tick per evaluated candidate
+  while (sa.active()) {
+    const std::vector<dcqcn::DcqcnParams> cands =
+        sa.propose_batch(cfg_.fleet_size, cfg_.elephant_share);
+    if (cands.empty()) break;
+    const std::vector<double> utils = parallel_map(
+        cands,
+        [&window](const dcqcn::DcqcnParams& c) { return evaluate(window, c); },
+        jobs);
+    const auto outcomes = sa.observe_batch(utils);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      res.episodes.add_trial({clock++, outcomes[i].iteration,
+                              outcomes[i].temperature, cands[i], utils[i],
+                              outcomes[i].accepted});
+    }
+    res.evaluations += static_cast<int>(cands.size());
+    ++res.batches;
+  }
+  res.episodes.close(clock, sa.best(), sa.best_utility());
+  res.best = sa.best();
+  res.best_utility = sa.best_utility();
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+}  // namespace paraleon::exec

@@ -1,0 +1,88 @@
+// ShadowFleet: batched simulated-annealing tuning over concurrent shadow
+// experiments.
+//
+// The live controller evaluates one SA candidate per monitor interval on
+// the production fabric, so an episode's wall-clock cost is iterations x
+// lambda_MI. The shadow fleet moves the episode offline: each round it
+// asks the tuner for K sibling candidates (SaTuner::propose_batch),
+// replays the recorded workload window under each candidate in K
+// independent shadow Experiments — fanned across the thread pool — and
+// feeds the measured utilities back through the batch Metropolis test
+// (SaTuner::observe_batch). Convergence wall-clock divides by up to K at
+// the cost of speculative evaluations (siblings of one parent instead of
+// a sequential chain); with K == 1 the tuner's RNG draw sequence, and
+// therefore the whole episode log, is byte-identical to the serial loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/sa_tuner.hpp"
+#include "core/utility.hpp"
+#include "obs/episode_log.hpp"
+#include "runner/experiment.hpp"
+
+namespace paraleon::exec {
+
+/// The recorded workload window every shadow experiment replays: base
+/// config (scheme/params are overridden per candidate) plus the workload
+/// installation. `setup` runs once per shadow experiment, possibly
+/// concurrently — it must only touch the experiment it is given.
+struct ShadowWindow {
+  runner::ExperimentConfig base;
+  std::function<void(runner::Experiment&)> setup;
+  core::UtilityWeights weights;
+  /// Skip this much warmup before utility samples count (ramp-up of the
+  /// replayed window would otherwise bias every candidate equally low).
+  Time measure_from = 0;
+};
+
+struct ShadowFleetConfig {
+  core::SaConfig sa;
+  /// Candidates proposed and evaluated per batch (K). 1 = the serial
+  /// reference: same proposals, same acceptances, same episode log as
+  /// driving the tuner step by step.
+  int fleet_size = 4;
+  /// Worker threads for the batch evaluations; 0 = one per candidate.
+  int jobs = 0;
+  /// Elephant share fed to guided mutation (0.5 = unguided), fixed for
+  /// the window since a recorded window has one traffic pattern.
+  double elephant_share = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct ShadowFleetResult {
+  dcqcn::DcqcnParams best;
+  double best_utility = 0.0;
+  /// Shadow experiments run, including speculative evaluations discarded
+  /// when the schedule finished mid-batch.
+  int evaluations = 0;
+  int batches = 0;
+  /// One "shadow" episode; trial times are evaluation indices, not
+  /// simulated time. Deterministic: a pure function of window + config.
+  obs::EpisodeLog episodes;
+  /// Wall-clock of the whole tune, reported next to the result like
+  /// runner::RunMeta — never part of the episode log or any digest.
+  double wall_seconds = 0.0;
+};
+
+class ShadowFleet {
+ public:
+  explicit ShadowFleet(ShadowFleetConfig cfg);
+
+  /// Replays `window` under one candidate setting and returns the mean
+  /// utility on the tuner's 0-100 scale. Exposed for tests and for
+  /// benches that want to score a single setting.
+  static double evaluate(const ShadowWindow& window,
+                         const dcqcn::DcqcnParams& candidate);
+
+  /// Runs one full SA episode from `start` and returns the best setting
+  /// found, the episode timeline and the evaluation/wall-clock accounting.
+  ShadowFleetResult tune(const ShadowWindow& window,
+                         const dcqcn::DcqcnParams& start);
+
+ private:
+  ShadowFleetConfig cfg_;
+};
+
+}  // namespace paraleon::exec

@@ -1,0 +1,133 @@
+// Fixed-size worker thread pool with a submission-ordered JobSet API.
+//
+// The pool is deliberately minimal: a bounded set of workers draining one
+// FIFO queue. Determinism comes from the layer above — jobs are pure
+// functions of their inputs (each sweep job owns a whole Experiment), and
+// JobSet returns results in submission order, so the output of a parallel
+// run is a pure function of what was submitted, never of how the OS
+// scheduled the workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace paraleon::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to >= 1).
+  explicit ThreadPool(int workers) {
+    const int n = workers < 1 ? 1 : workers;
+    threads_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a job. The pool never drops jobs; everything enqueued before
+  /// destruction runs to completion (the destructor only stops the intake).
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+  }
+
+  /// The machine's usable worker count (>= 1 even when the runtime cannot
+  /// tell): the default for `--jobs 0` style "use every core" requests.
+  static int hardware_workers() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// A batch of jobs whose results come back in submission order, so callers
+/// observe scheduling-independent output. Exceptions propagate: wait_all()
+/// finishes every job, then rethrows the exception of the earliest
+/// submitted job that failed (later results are discarded with it).
+template <typename T>
+class JobSet {
+ public:
+  explicit JobSet(ThreadPool* pool) : pool_(pool) {}
+
+  /// Submits `fn` (signature T()); its result lands at the index this call
+  /// returns, regardless of which worker runs it or when.
+  template <typename F>
+  std::size_t submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<T()>>(std::forward<F>(fn));
+    futures_.push_back(task->get_future());
+    pool_->submit([task] { (*task)(); });
+    return futures_.size() - 1;
+  }
+
+  std::size_t size() const { return futures_.size(); }
+
+  /// Blocks until every submitted job finished, then returns the results
+  /// in submission order or rethrows the first (by submission order)
+  /// failure. The set is drained afterwards and may be reused.
+  std::vector<T> wait_all() {
+    std::vector<T> results;
+    results.reserve(futures_.size());
+    std::exception_ptr first_error;
+    for (auto& f : futures_) {
+      try {
+        results.push_back(f.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    futures_.clear();
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::vector<std::future<T>> futures_;
+};
+
+}  // namespace paraleon::exec

@@ -4,6 +4,21 @@
 //
 // This is the one place where scheme wiring lives, so every bench, test
 // and example composes the same verified plumbing.
+//
+// Thread-compatibility invariant: two Experiments may run on two threads.
+// An Experiment owns every piece of mutable state it touches — simulator
+// and event queue, topology, RNG streams (seeded from config().seed),
+// counter registry / trace recorder / profiler (the Simulator's
+// Observability bundle), sketches, agents, controllers and trackers.
+// There are no mutable statics or globals anywhere under src/ (audited;
+// the remaining statics are immutable lookup tables with thread-safe
+// initialisation), so concurrent instances never share mutable state and
+// need no locking. Two caveats: (1) one Experiment instance is NOT itself
+// thread-safe — drive it from one thread; (2) a run that *writes files*
+// (an armed flight recorder) needs per-run output directories to avoid
+// colliding on the filesystem. exec::ParallelSweep and exec::ShadowFleet
+// build on exactly this invariant; tests/exec_test.cpp and the TSan CI
+// job enforce it.
 #pragma once
 
 #include <cstdint>

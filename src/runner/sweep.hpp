@@ -1,12 +1,21 @@
 // Seed-sweep statistics: run the same experiment under several seeds and
 // aggregate a scalar metric. The simulator is deterministic per seed, so a
 // sweep is the honest way to report run-to-run variance in the benches.
+//
+// Sweeps route through exec::parallel_map: every metric(seed) call is an
+// independent job (each builds, runs and owns its whole Experiment), the
+// value vector comes back in seed order, and jobs == 1 is the exact old
+// serial for-loop on the calling thread. See docs/PARALLELISM.md for the
+// determinism contract; exec::sweep_experiments adds per-seed run_digest
+// capture on top of this.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
+
+#include "exec/parallel_map.hpp"
 
 namespace paraleon::runner {
 
@@ -18,15 +27,12 @@ struct SweepStats {
   std::size_t n = 0;
 };
 
-/// Evaluates `metric(seed)` for each seed and aggregates.
-inline SweepStats sweep_seeds(
-    const std::vector<std::uint64_t>& seeds,
-    const std::function<double(std::uint64_t)>& metric) {
+/// Aggregates an already-computed per-seed value vector (several benches
+/// need both the vector — CDFs, per-seed tables — and the summary; compute
+/// the values once and aggregate here).
+inline SweepStats aggregate_sweep(const std::vector<double>& values) {
   SweepStats s;
-  if (seeds.empty()) return s;
-  std::vector<double> values;
-  values.reserve(seeds.size());
-  for (const auto seed : seeds) values.push_back(metric(seed));
+  if (values.empty()) return s;
   s.n = values.size();
   s.min = values[0];
   s.max = values[0];
@@ -40,6 +46,23 @@ inline SweepStats sweep_seeds(
   for (double v : values) var += (v - s.mean) * (v - s.mean);
   s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
   return s;
+}
+
+/// Evaluates `metric(seed)` for each seed across `jobs` workers and
+/// returns the per-seed values in seed order.
+inline std::vector<double> sweep_values(
+    const std::vector<std::uint64_t>& seeds,
+    const std::function<double(std::uint64_t)>& metric, int jobs = 1) {
+  return exec::parallel_map(seeds, metric, jobs);
+}
+
+/// Evaluates `metric(seed)` for each seed and aggregates. `jobs` fans the
+/// independent runs across a worker pool; 1 (the default) is the serial
+/// path and any other count produces identical values.
+inline SweepStats sweep_seeds(
+    const std::vector<std::uint64_t>& seeds,
+    const std::function<double(std::uint64_t)>& metric, int jobs = 1) {
+  return aggregate_sweep(sweep_values(seeds, metric, jobs));
 }
 
 }  // namespace paraleon::runner

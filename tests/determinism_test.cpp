@@ -4,9 +4,16 @@
 // without perturbing.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "check/invariant_checker.hpp"
+#include "core/param_space.hpp"
+#include "core/sa_tuner.hpp"
+#include "exec/parallel_sweep.hpp"
+#include "exec/shadow_fleet.hpp"
+#include "obs/episode_log.hpp"
 #include "runner/experiment.hpp"
 
 namespace paraleon {
@@ -157,6 +164,120 @@ TEST(Determinism, TracingIsObservationOnly) {
     return out;
   };
   EXPECT_EQ(run(false), run(true));
+}
+
+// ---- parallel execution determinism ----
+
+exec::SweepOutcome digest_sweep(int jobs) {
+  exec::ParallelSweepConfig scfg;
+  scfg.jobs = jobs;
+  return exec::sweep_experiments(
+      {101, 102, 103, 104},
+      [](std::uint64_t seed) {
+        ExperimentConfig cfg = base_config(Scheme::kParaleon, seed);
+        cfg.duration = milliseconds(10);
+        auto exp = std::make_unique<Experiment>(std::move(cfg));
+        workload::PoissonConfig w;
+        w.hosts = exp->all_hosts();
+        w.sizes = &workload::solar_rpc_distribution();
+        w.load = 0.4;
+        w.stop = milliseconds(8);
+        w.seed = seed;
+        exp->add_poisson(w);
+        return exp;
+      },
+      [](Experiment& exp) {
+        return static_cast<double>(exp.fct().finished());
+      },
+      scfg);
+}
+
+TEST(Determinism, ParallelSweepDigestsByteIdenticalAcrossWorkerCounts) {
+  // The tentpole contract: a sweep's per-seed run_digests are a pure
+  // function of the seeds, whatever the worker count. jobs=1 is the old
+  // serial for-loop; 2 and 8 exercise real pools (8 > seed count forces
+  // the more-workers-than-jobs path).
+  const auto serial = digest_sweep(1);
+  ASSERT_EQ(serial.runs.size(), 4u);
+  for (const int jobs : {2, 8}) {
+    const auto parallel = digest_sweep(jobs);
+    ASSERT_EQ(parallel.runs.size(), serial.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+      EXPECT_EQ(parallel.runs[i].seed, serial.runs[i].seed);
+      EXPECT_DOUBLE_EQ(parallel.runs[i].value, serial.runs[i].value);
+      EXPECT_EQ(parallel.runs[i].digest, serial.runs[i].digest)
+          << "jobs=" << jobs << " seed=" << serial.runs[i].seed;
+    }
+  }
+}
+
+exec::ShadowWindow shadow_window() {
+  exec::ShadowWindow w;
+  w.base = base_config(Scheme::kCustomStatic, 55);
+  w.base.duration = milliseconds(5);
+  w.setup = [](Experiment& exp) {
+    workload::PoissonConfig wl;
+    wl.hosts = exp.all_hosts();
+    wl.sizes = &workload::solar_rpc_distribution();
+    wl.load = 0.35;
+    wl.stop = milliseconds(5);
+    wl.seed = 55;
+    exp.add_poisson(wl);
+  };
+  w.measure_from = milliseconds(1);
+  return w;
+}
+
+TEST(Determinism, ShadowFleetK1ReproducesSerialTunerEpisodeLogExactly) {
+  // Drive one SaTuner the old way — step() per evaluation, logging trials
+  // with the controller's conventions — and compare against ShadowFleet
+  // with fleet_size 1: same seed, same window, so the RNG draw sequence
+  // and therefore every candidate, acceptance, temperature and the final
+  // best must match byte for byte in the episode-log JSON.
+  const exec::ShadowWindow w = shadow_window();
+  const dcqcn::DcqcnParams start = dcqcn::scaled_for_line_rate(
+      dcqcn::default_params(), gbps(100), gbps(10));
+  core::SaConfig sa_cfg;
+  sa_cfg.total_iter_num = 3;
+  sa_cfg.cooling_rate = 0.3;
+  const std::uint64_t tuner_seed = 99;
+
+  // Serial reference.
+  core::SaTuner sa(
+      core::ParamSpace::standard(w.base.clos.host_link,
+                                 w.base.clos.switch_cfg.buffer_bytes),
+      sa_cfg, tuner_seed);
+  obs::EpisodeLog serial_log;
+  sa.begin_episode(start);
+  const double u0 = exec::ShadowFleet::evaluate(w, start);
+  dcqcn::DcqcnParams next = sa.step(u0, 0.5);
+  serial_log.begin(0, "shadow", 0.0, start);
+  serial_log.add_trial(
+      {0, sa.iterations_done(), sa.temperature(), start, u0, true});
+  Time clock = 1;
+  int serial_evals = 1;
+  while (sa.active()) {
+    const dcqcn::DcqcnParams measured = next;
+    const double u = exec::ShadowFleet::evaluate(w, measured);
+    ++serial_evals;
+    next = sa.step(u, 0.5);
+    serial_log.add_trial({clock++, sa.iterations_done(), sa.temperature(),
+                          measured, u, sa.last_accepted()});
+  }
+  serial_log.close(clock, sa.best(), sa.best_utility());
+
+  // Shadow fleet, K = 1.
+  exec::ShadowFleetConfig fcfg;
+  fcfg.sa = sa_cfg;
+  fcfg.fleet_size = 1;
+  fcfg.jobs = 1;
+  fcfg.seed = tuner_seed;
+  const auto fleet = exec::ShadowFleet(fcfg).tune(w, start);
+
+  EXPECT_EQ(fleet.episodes.to_json(), serial_log.to_json());
+  EXPECT_EQ(fleet.evaluations, serial_evals);
+  EXPECT_DOUBLE_EQ(fleet.best_utility, sa.best_utility());
+  EXPECT_EQ(obs::params_to_json(fleet.best), obs::params_to_json(sa.best()));
 }
 
 }  // namespace
