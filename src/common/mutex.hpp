@@ -1,0 +1,77 @@
+// Annotated mutex primitives: the only lock types first-party code may
+// use (the determinism linter's companion rule is enforced by review; raw
+// std::mutex members defeat the Clang thread-safety analysis because the
+// standard types carry no capability attributes).
+//
+//   Mutex     — std::mutex with PARALEON_CAPABILITY, so members can be
+//               declared PARALEON_GUARDED_BY(mu_).
+//   MutexLock — scoped lock; the analysis tracks its lifetime as holding
+//               the capability.
+//   CondVar   — condition variable waiting on a held Mutex. There is no
+//               predicate-lambda overload on purpose: the analysis cannot
+//               see that a lambda body runs under the lock, so waits are
+//               written as explicit `while (!pred) cv.wait(mu);` loops,
+//               which it checks exactly.
+//
+// The shapes mirror the canonical example in the Clang thread-safety
+// documentation (and absl::Mutex), shrunk to what the tree needs.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace paraleon::common {
+
+/// A std::mutex that is a Clang capability. BasicLockable, so it also
+/// works directly with std library lock adapters where needed.
+class PARALEON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PARALEON_ACQUIRE() { mu_.lock(); }
+  void unlock() PARALEON_RELEASE() { mu_.unlock(); }
+  bool try_lock() PARALEON_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex; holding one satisfies PARALEON_GUARDED_BY /
+/// PARALEON_REQUIRES obligations for the locked mutex within its scope.
+class PARALEON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PARALEON_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() PARALEON_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. wait() requires the mutex held and
+/// returns with it held again (the internal unlock/relock inside the
+/// standard wait is invisible to — and irrelevant for — the analysis).
+class CondVar {
+ public:
+  void wait(Mutex& mu) PARALEON_REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace paraleon::common

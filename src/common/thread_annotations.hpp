@@ -1,0 +1,70 @@
+// Clang thread-safety-analysis annotations (no-ops on other compilers).
+//
+// These macros attach the compiler-checked lock discipline to the few
+// classes in the tree that own cross-thread state (exec::ThreadPool,
+// exec::JobSet) and to the obs-layer surfaces the upcoming space-parallel
+// sharding will share between workers (counter Registry, trace ring,
+// scrape log, flight-recorder triggers). With Clang, `-Wthread-safety
+// -Werror=thread-safety` (on by default for Clang builds, see the
+// top-level CMakeLists) turns every access to a PARALEON_GUARDED_BY
+// member outside its mutex into a compile error — the lock contract that
+// the TSan CI job can only sample becomes a proof obligation.
+//
+// Naming follows the Clang capability vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the wrappers
+// that consume these live in common/mutex.hpp.
+#pragma once
+
+#if defined(__clang__)
+#define PARALEON_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PARALEON_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no analysis
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define PARALEON_CAPABILITY(x) PARALEON_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose lifetime holds a capability.
+#define PARALEON_SCOPED_CAPABILITY \
+  PARALEON_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define PARALEON_GUARDED_BY(x) PARALEON_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define PARALEON_PT_GUARDED_BY(x) \
+  PARALEON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and exit).
+#define PARALEON_REQUIRES(...) \
+  PARALEON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability; it must not be held on entry.
+#define PARALEON_ACQUIRE(...) \
+  PARALEON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability held on entry.
+#define PARALEON_RELEASE(...) \
+  PARALEON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `b`.
+#define PARALEON_TRY_ACQUIRE(b, ...) \
+  PARALEON_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard
+/// for public methods that lock internally).
+#define PARALEON_EXCLUDES(...) \
+  PARALEON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares (without runtime effect) that the capability is held.
+#define PARALEON_ASSERT_CAPABILITY(x) \
+  PARALEON_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define PARALEON_RETURN_CAPABILITY(x) \
+  PARALEON_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a comment explaining why the discipline cannot be expressed.
+#define PARALEON_NO_THREAD_SAFETY_ANALYSIS \
+  PARALEON_THREAD_ANNOTATION(no_thread_safety_analysis)

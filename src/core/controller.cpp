@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+// lint:allow-file(wall-clock) controller CPU time is an overhead metric
+// (Table IV); it feeds Overheads reporting only, never any digest.
+
 namespace paraleon::core {
 
 namespace {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+// lint:allow-file(wall-clock) agent CPU time is an overhead metric
+// (Table IV); it feeds cpu_seconds() reporting only, never any digest.
+
 namespace paraleon::core {
 
 SwitchAgent::SwitchAgent(const AgentConfig& cfg, DrainFn drain)

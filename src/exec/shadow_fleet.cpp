@@ -3,6 +3,9 @@
 #include <chrono>
 #include <cstddef>
 
+// lint:allow-file(wall-clock) tune() reports wall_seconds next to the
+// result like runner::RunMeta — never in the episode log or any digest.
+
 #include "core/monitor.hpp"
 #include "core/param_space.hpp"
 #include "exec/parallel_map.hpp"

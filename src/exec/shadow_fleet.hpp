@@ -66,6 +66,12 @@ struct ShadowFleetResult {
   double wall_seconds = 0.0;
 };
 
+// Concurrency note: ShadowFleet holds no shared mutable state — cfg_ is
+// written only in the constructor, and each shadow evaluation builds its
+// own Experiment on the worker's stack (the thread-compatibility
+// invariant in runner/experiment.hpp). The only cross-thread structures
+// it touches are the annotated ThreadPool/JobSet inside parallel_map, so
+// there is deliberately no Mutex here: confinement, not locking.
 class ShadowFleet {
  public:
   explicit ShadowFleet(ShadowFleetConfig cfg);

@@ -6,18 +6,24 @@
 // JobSet returns results in submission order, so the output of a parallel
 // run is a pure function of what was submitted, never of how the OS
 // scheduled the workers.
+//
+// Lock discipline is compiler-checked: queue state is PARALEON_GUARDED_BY
+// the pool mutex and Clang's `-Wthread-safety` (an error in the
+// static-analysis CI lane) rejects any access outside a MutexLock scope.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace paraleon::exec {
 
@@ -37,7 +43,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -48,9 +54,9 @@ class ThreadPool {
 
   /// Enqueues a job. The pool never drops jobs; everything enqueued before
   /// destruction runs to completion (the destructor only stops the intake).
-  void submit(std::function<void()> job) {
+  void submit(std::function<void()> job) PARALEON_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       queue_.push_back(std::move(job));
     }
     cv_.notify_one();
@@ -64,12 +70,14 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop() {
+  void worker_loop() PARALEON_EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> job;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        common::MutexLock lock(mu_);
+        // Explicit predicate loop (not a wait-with-lambda): the analysis
+        // proves the guarded reads here, which it cannot inside a lambda.
+        while (!stopping_ && queue_.empty()) cv_.wait(mu_);
         if (queue_.empty()) return;  // stopping_ and drained
         job = std::move(queue_.front());
         queue_.pop_front();
@@ -78,10 +86,10 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  common::Mutex mu_;
+  common::CondVar cv_;
+  std::deque<std::function<void()>> queue_ PARALEON_GUARDED_BY(mu_);
+  bool stopping_ PARALEON_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 
@@ -89,6 +97,9 @@ class ThreadPool {
 /// observe scheduling-independent output. Exceptions propagate: wait_all()
 /// finishes every job, then rethrows the exception of the earliest
 /// submitted job that failed (later results are discarded with it).
+///
+/// The future list is mutex-guarded so a JobSet tolerates submissions from
+/// several producer threads; waiting stays a single-consumer operation.
 template <typename T>
 class JobSet {
  public:
@@ -97,37 +108,52 @@ class JobSet {
   /// Submits `fn` (signature T()); its result lands at the index this call
   /// returns, regardless of which worker runs it or when.
   template <typename F>
-  std::size_t submit(F&& fn) {
+  std::size_t submit(F&& fn) PARALEON_EXCLUDES(mu_) {
     auto task = std::make_shared<std::packaged_task<T()>>(std::forward<F>(fn));
-    futures_.push_back(task->get_future());
+    std::size_t index;
+    {
+      common::MutexLock lock(mu_);
+      futures_.push_back(task->get_future());
+      index = futures_.size() - 1;
+    }
     pool_->submit([task] { (*task)(); });
-    return futures_.size() - 1;
+    return index;
   }
 
-  std::size_t size() const { return futures_.size(); }
+  std::size_t size() const PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return futures_.size();
+  }
 
   /// Blocks until every submitted job finished, then returns the results
   /// in submission order or rethrows the first (by submission order)
   /// failure. The set is drained afterwards and may be reused.
-  std::vector<T> wait_all() {
+  std::vector<T> wait_all() PARALEON_EXCLUDES(mu_) {
+    std::vector<std::future<T>> pending;
+    {
+      // Detach the batch under the lock, then block on the futures outside
+      // it so a slow job never holds up a concurrent submit().
+      common::MutexLock lock(mu_);
+      pending.swap(futures_);
+    }
     std::vector<T> results;
-    results.reserve(futures_.size());
+    results.reserve(pending.size());
     std::exception_ptr first_error;
-    for (auto& f : futures_) {
+    for (auto& f : pending) {
       try {
         results.push_back(f.get());
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
       }
     }
-    futures_.clear();
     if (first_error) std::rethrow_exception(first_error);
     return results;
   }
 
  private:
   ThreadPool* pool_;
-  std::vector<std::future<T>> futures_;
+  mutable common::Mutex mu_;
+  std::vector<std::future<T>> futures_ PARALEON_GUARDED_BY(mu_);
 };
 
 }  // namespace paraleon::exec

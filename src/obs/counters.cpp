@@ -6,6 +6,7 @@
 namespace paraleon::obs {
 
 Counter Registry::counter(const std::string& name) {
+  common::MutexLock lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return Counter(&slots_[it->second]);
   const std::size_t idx = slots_.size();
@@ -15,12 +16,14 @@ Counter Registry::counter(const std::string& name) {
 }
 
 void Registry::gauge(std::string name, ReadFn read) {
+  common::MutexLock lock(mu_);
   gauges_[std::move(name)] = std::move(read);
 }
 
 std::vector<Registry::Sample> Registry::snapshot() const {
+  common::MutexLock lock(mu_);
   std::vector<Sample> out;
-  out.reserve(size());
+  out.reserve(counters_.size() + gauges_.size());
   // Both maps are name-ordered; a two-way merge keeps the result sorted.
   auto c = counters_.begin();
   auto g = gauges_.begin();
@@ -41,6 +44,7 @@ std::vector<Registry::Sample> Registry::snapshot() const {
 }
 
 double Registry::value_of(const std::string& name) const {
+  common::MutexLock lock(mu_);
   const auto c = counters_.find(name);
   if (c != counters_.end()) return static_cast<double>(slots_[c->second]);
   const auto g = gauges_.find(name);
@@ -49,6 +53,7 @@ double Registry::value_of(const std::string& name) const {
 }
 
 bool Registry::has(const std::string& name) const {
+  common::MutexLock lock(mu_);
   return counters_.count(name) != 0 || gauges_.count(name) != 0;
 }
 
@@ -111,6 +116,7 @@ std::string Registry::to_csv() const {
 }
 
 void ScrapeLog::record(Time t, const Registry& reg) {
+  common::MutexLock lock(mu_);
   if (filter_.empty()) {
     for (const auto& s : reg.snapshot()) series_[s.name].add(t, s.value);
     return;
@@ -122,6 +128,7 @@ void ScrapeLog::record(Time t, const Registry& reg) {
 
 const stats::TimeSeries& ScrapeLog::series(const std::string& name) const {
   static const stats::TimeSeries kEmpty;
+  common::MutexLock lock(mu_);
   const auto it = series_.find(name);
   return it == series_.end() ? kEmpty : it->second;
 }

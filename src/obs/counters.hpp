@@ -16,6 +16,15 @@
 // Callback gauges capture raw pointers into the registering object; read
 // them only while that object is alive (in practice: while the Experiment
 // that built the fabric exists).
+//
+// Lock discipline (compiler-checked via PARALEON_GUARDED_BY): the
+// instrument tables are mutex-guarded so registration and scrapes are
+// safe against each other once space-parallel sharding shares a
+// simulator's registry between shard workers. Counter handles stay
+// lock-free on purpose — they hold a raw slot pointer handed out under
+// the lock, and increments follow the single-writer-per-instrument
+// contract (one owning layer per counter), which keeps the hot path at
+// one pointer indirection.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/time.hpp"
 #include "stats/timeseries.hpp"
 
@@ -58,10 +69,10 @@ class Registry {
   /// Returns a handle to the named counter, creating the slot on first
   /// use. Registering the same name twice returns a handle to the same
   /// slot, so several sites may share one logical counter.
-  Counter counter(const std::string& name);
+  Counter counter(const std::string& name) PARALEON_EXCLUDES(mu_);
 
   /// Registers (or replaces) a callback-backed gauge.
-  void gauge(std::string name, ReadFn read);
+  void gauge(std::string name, ReadFn read) PARALEON_EXCLUDES(mu_);
 
   struct Sample {
     std::string name;
@@ -70,12 +81,15 @@ class Registry {
   };
   /// Every instrument, sorted by name, read now. Deterministic: the order
   /// depends only on the names, never on registration order.
-  std::vector<Sample> snapshot() const;
+  std::vector<Sample> snapshot() const PARALEON_EXCLUDES(mu_);
 
   /// Current value of one instrument (0.0 if absent).
-  double value_of(const std::string& name) const;
-  bool has(const std::string& name) const;
-  std::size_t size() const { return counters_.size() + gauges_.size(); }
+  double value_of(const std::string& name) const PARALEON_EXCLUDES(mu_);
+  bool has(const std::string& name) const PARALEON_EXCLUDES(mu_);
+  std::size_t size() const PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return counters_.size() + gauges_.size();
+  }
 
   /// One JSON document: {"counters": {...}, "gauges": {...}}, keys sorted.
   /// Byte-identical for identical instrument values (the determinism test
@@ -85,9 +99,13 @@ class Registry {
   std::string to_csv() const;
 
  private:
-  std::map<std::string, std::size_t> counters_;  // name -> index in slots_
-  std::deque<std::int64_t> slots_;               // stable addresses
-  std::map<std::string, ReadFn> gauges_;
+  mutable common::Mutex mu_;
+  // name -> index in slots_
+  std::map<std::string, std::size_t> counters_ PARALEON_GUARDED_BY(mu_);
+  // Stable addresses: Counter handles point into this deque, so slots
+  // must never move once handed out.
+  std::deque<std::int64_t> slots_ PARALEON_GUARDED_BY(mu_);
+  std::map<std::string, ReadFn> gauges_ PARALEON_GUARDED_BY(mu_);
 };
 
 /// Formats an instrument value exactly: integral values print without a
@@ -102,21 +120,31 @@ class ScrapeLog {
  public:
   /// Restricts future record() calls to these instrument names
   /// (empty = scrape everything).
-  void set_filter(std::vector<std::string> names) {
+  void set_filter(std::vector<std::string> names) PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     filter_ = std::move(names);
   }
 
-  void record(Time t, const Registry& reg);
+  void record(Time t, const Registry& reg) PARALEON_EXCLUDES(mu_);
 
-  const stats::TimeSeries& series(const std::string& name) const;
-  const std::map<std::string, stats::TimeSeries>& all() const {
+  /// The returned references stay valid while the log lives; read them
+  /// only after recording has quiesced (post-run, like every dump).
+  const stats::TimeSeries& series(const std::string& name) const
+      PARALEON_EXCLUDES(mu_);
+  const std::map<std::string, stats::TimeSeries>& all() const
+      PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return series_;
   }
-  bool empty() const { return series_.empty(); }
+  bool empty() const PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return series_.empty();
+  }
 
  private:
-  std::vector<std::string> filter_;
-  std::map<std::string, stats::TimeSeries> series_;
+  mutable common::Mutex mu_;
+  std::vector<std::string> filter_ PARALEON_GUARDED_BY(mu_);
+  std::map<std::string, stats::TimeSeries> series_ PARALEON_GUARDED_BY(mu_);
 };
 
 }  // namespace paraleon::obs

@@ -7,6 +7,7 @@
 namespace paraleon::obs {
 
 const char* AnomalyTriggers::update(const Sample& s) {
+  common::MutexLock lock(mu_);
   if (!cfg_.armed) return nullptr;
   const char* fired = nullptr;
   if (has_prev_) {

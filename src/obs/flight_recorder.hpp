@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/time.hpp"
 
 namespace paraleon::obs {
@@ -58,20 +60,32 @@ class AnomalyTriggers {
     bool utility_valid = false;
   };
 
-  void configure(const FlightConfig& cfg) { cfg_ = cfg; }
-  const FlightConfig& config() const { return cfg_; }
+  void configure(const FlightConfig& cfg) PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    cfg_ = cfg;
+  }
+  /// The returned reference stays valid while the triggers live; read it
+  /// only while configuration has quiesced (armed runs never reconfigure).
+  const FlightConfig& config() const PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return cfg_;
+  }
 
   /// Feeds one sample; returns the name of the trigger that fired, or
   /// nullptr. Rate triggers compare against the previous sample, so the
   /// first sample only seeds state.
-  const char* update(const Sample& s);
+  const char* update(const Sample& s) PARALEON_EXCLUDES(mu_);
 
-  void reset() { has_prev_ = false; }
+  void reset() PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    has_prev_ = false;
+  }
 
  private:
-  FlightConfig cfg_;
-  Sample prev_;
-  bool has_prev_ = false;
+  mutable common::Mutex mu_;
+  FlightConfig cfg_ PARALEON_GUARDED_BY(mu_);
+  Sample prev_ PARALEON_GUARDED_BY(mu_);
+  bool has_prev_ PARALEON_GUARDED_BY(mu_) = false;
 };
 
 /// Creates a bundle directory and writes named files into it. Thin

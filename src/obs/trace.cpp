@@ -21,25 +21,35 @@ const char* trace_category_name(TraceCategory c) {
 }
 
 void TraceRecorder::configure(const TraceConfig& cfg) {
-  mask_ = 0;
-  if (cfg.packet) mask_ |= static_cast<std::uint32_t>(TraceCategory::kPacket);
-  if (cfg.pfc) mask_ |= static_cast<std::uint32_t>(TraceCategory::kPfc);
-  if (cfg.rp) mask_ |= static_cast<std::uint32_t>(TraceCategory::kRp);
+  std::uint32_t mask = 0;
+  if (cfg.packet) mask |= static_cast<std::uint32_t>(TraceCategory::kPacket);
+  if (cfg.pfc) mask |= static_cast<std::uint32_t>(TraceCategory::kPfc);
+  if (cfg.rp) mask |= static_cast<std::uint32_t>(TraceCategory::kRp);
   if (cfg.monitor) {
-    mask_ |= static_cast<std::uint32_t>(TraceCategory::kMonitor);
+    mask |= static_cast<std::uint32_t>(TraceCategory::kMonitor);
   }
-  if (cfg.sa) mask_ |= static_cast<std::uint32_t>(TraceCategory::kSa);
+  if (cfg.sa) mask |= static_cast<std::uint32_t>(TraceCategory::kSa);
+  mask_.store(mask, std::memory_order_relaxed);
+  common::MutexLock lock(mu_);
   capacity_ = cfg.capacity == 0 ? 1 : cfg.capacity;
-  clear();
+  clear_locked();
 }
 
 void TraceRecorder::clear() {
+  common::MutexLock lock(mu_);
+  clear_locked();
+}
+
+void TraceRecorder::clear_locked() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
 }
 
-std::size_t TraceRecorder::recorded() const { return ring_.size(); }
+std::size_t TraceRecorder::recorded() const {
+  common::MutexLock lock(mu_);
+  return ring_.size();
+}
 
 const TraceEvent& TraceRecorder::at_oldest_first(std::size_t i) const {
   // Until the ring wraps, ring_[0] is oldest; afterwards next_ points at
@@ -49,6 +59,7 @@ const TraceEvent& TraceRecorder::at_oldest_first(std::size_t i) const {
 }
 
 void TraceRecorder::push(const TraceEvent& ev) {
+  common::MutexLock lock(mu_);
   ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);

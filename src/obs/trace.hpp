@@ -8,13 +8,20 @@
 // off by default; a disabled category costs one branch at the emit site.
 // Timestamps are simulated time, so a trace is a pure function of the run
 // seed — the determinism test compares dumps byte-for-byte.
+// Lock discipline (compiler-checked): the ring and its cursors are
+// mutex-guarded; the category mask is a relaxed atomic so the emit-site
+// fast path `enabled(c)` stays a single load with no lock, exactly as
+// cheap as before.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/time.hpp"
 
 namespace paraleon::obs {
@@ -68,13 +75,16 @@ struct TraceEvent {
 
 class TraceRecorder {
  public:
-  void configure(const TraceConfig& cfg);
+  void configure(const TraceConfig& cfg) PARALEON_EXCLUDES(mu_);
 
-  /// The emit-site fast path: one load + mask test.
+  /// The emit-site fast path: one relaxed load + mask test.
   bool enabled(TraceCategory c) const {
-    return (mask_ & static_cast<std::uint32_t>(c)) != 0u;
+    return (mask_.load(std::memory_order_relaxed) &
+            static_cast<std::uint32_t>(c)) != 0u;
   }
-  bool any_enabled() const { return mask_ != 0u; }
+  bool any_enabled() const {
+    return mask_.load(std::memory_order_relaxed) != 0u;
+  }
 
   void instant(TraceCategory c, const char* name, Time ts, std::int64_t pid,
                std::int64_t tid, std::initializer_list<TraceArg> args = {});
@@ -90,19 +100,26 @@ class TraceRecorder {
                 std::int64_t tid);
 
   /// Events currently retained (<= capacity).
-  std::size_t recorded() const;
+  std::size_t recorded() const PARALEON_EXCLUDES(mu_);
   /// Events emitted over the run, including overwritten ones.
-  std::uint64_t total() const { return total_; }
+  std::uint64_t total() const PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return total_;
+  }
   std::uint64_t dropped() const {
-    return total_ - static_cast<std::uint64_t>(recorded());
+    common::MutexLock lock(mu_);
+    return total_ - static_cast<std::uint64_t>(ring_.size());
   }
 
-  void clear();
+  void clear() PARALEON_EXCLUDES(mu_);
 
-  /// Iterates retained events oldest-first (the digest input).
+  /// Iterates retained events oldest-first (the digest input). The ring
+  /// lock is held across the whole walk; `fn` must not call back into
+  /// this recorder.
   template <class Fn>
-  void for_each(Fn&& fn) const {
-    const std::size_t n = recorded();
+  void for_each(Fn&& fn) const PARALEON_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    const std::size_t n = ring_.size();
     for (std::size_t i = 0; i < n; ++i) fn(at_oldest_first(i));
   }
 
@@ -111,14 +128,19 @@ class TraceRecorder {
   std::string to_json() const;
 
  private:
-  const TraceEvent& at_oldest_first(std::size_t i) const;
-  void push(const TraceEvent& ev);
+  const TraceEvent& at_oldest_first(std::size_t i) const
+      PARALEON_REQUIRES(mu_);
+  void push(const TraceEvent& ev) PARALEON_EXCLUDES(mu_);
+  void clear_locked() PARALEON_REQUIRES(mu_);
 
-  std::uint32_t mask_ = 0;
-  std::size_t capacity_ = 1u << 16;
-  std::vector<TraceEvent> ring_;
-  std::size_t next_ = 0;     // write position once the ring is full
-  std::uint64_t total_ = 0;  // lifetime pushes
+  std::atomic<std::uint32_t> mask_{0};
+  mutable common::Mutex mu_;
+  std::size_t capacity_ PARALEON_GUARDED_BY(mu_) = 1u << 16;
+  std::vector<TraceEvent> ring_ PARALEON_GUARDED_BY(mu_);
+  // Write position once the ring is full.
+  std::size_t next_ PARALEON_GUARDED_BY(mu_) = 0;
+  // Lifetime pushes.
+  std::uint64_t total_ PARALEON_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace paraleon::obs

@@ -10,10 +10,16 @@
 // and event queue, topology, RNG streams (seeded from config().seed),
 // counter registry / trace recorder / profiler (the Simulator's
 // Observability bundle), sketches, agents, controllers and trackers.
-// There are no mutable statics or globals anywhere under src/ (audited;
-// the remaining statics are immutable lookup tables with thread-safe
+// There are no mutable statics or globals anywhere under src/ (the
+// remaining statics are immutable lookup tables with thread-safe
 // initialisation), so concurrent instances never share mutable state and
-// need no locking. Two caveats: (1) one Experiment instance is NOT itself
+// need no locking. This is no longer just an audited convention: the
+// determinism linter's mutable-global-state rule rejects new mutable
+// statics tree-wide, and the lock discipline of the genuinely shared
+// layers (exec::ThreadPool/JobSet, the obs registry/trace/scrape/trigger
+// classes) is annotated with PARALEON_GUARDED_BY and proven by Clang's
+// -Wthread-safety in the static-analysis CI lane (docs/STATIC_ANALYSIS.md).
+// Two caveats: (1) one Experiment instance is NOT itself
 // thread-safe — drive it from one thread; (2) a run that *writes files*
 // (an armed flight recorder) needs per-run output directories to avoid
 // colliding on the filesystem. exec::ParallelSweep and exec::ShadowFleet

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+// lint:allow-file(wall-clock) this TU is the LoopProfiler's measuring
+// site: callback wall times feed runner::RunMeta, never any digest.
+
 #include "check/check.hpp"
 
 namespace paraleon::sim {

@@ -26,10 +26,23 @@ void FctTracker::on_flow_finish(std::uint64_t flow_id, Time finish) {
   ++finished_;
 }
 
+std::vector<FlowRecord> FctTracker::sorted_records() const {
+  std::vector<FlowRecord> out;
+  out.reserve(flows_.size());
+  // lint:allow(unordered-iteration) drained into a vector and sorted by
+  // flow id right below — the one sanctioned exit from the hash map.
+  for (const auto& [id, rec] : flows_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const FlowRecord& a, const FlowRecord& b) {
+              return a.flow_id < b.flow_id;
+            });
+  return out;
+}
+
 std::vector<FlowRecord> FctTracker::completed() const {
   std::vector<FlowRecord> out;
   out.reserve(finished_);
-  for (const auto& [id, rec] : flows_) {
+  for (const auto& rec : sorted_records()) {
     if (rec.finish >= 0) out.push_back(rec);
   }
   return out;
@@ -38,7 +51,7 @@ std::vector<FlowRecord> FctTracker::completed() const {
 std::vector<double> FctTracker::fct_seconds(std::int64_t min_size,
                                             std::int64_t max_size) const {
   std::vector<double> out;
-  for (const auto& [id, rec] : flows_) {
+  for (const auto& rec : sorted_records()) {
     if (rec.finish < 0) continue;
     if (rec.size_bytes < min_size || rec.size_bytes >= max_size) continue;
     out.push_back(to_sec(rec.finish - rec.start));
@@ -49,10 +62,11 @@ std::vector<double> FctTracker::fct_seconds(std::int64_t min_size,
 std::vector<double> FctTracker::slowdowns(std::int64_t min_size,
                                           std::int64_t max_size) const {
   std::vector<double> out;
-  for (const auto& [id, rec] : flows_) {
+  for (const auto& rec : sorted_records()) {
     if (rec.finish < 0) continue;
     if (rec.size_bytes < min_size || rec.size_bytes >= max_size) continue;
-    const Time ideal = std::max<Time>(1, ideal_(rec.size_bytes, rec.src, rec.dst));
+    const Time ideal =
+        std::max<Time>(1, ideal_(rec.size_bytes, rec.src, rec.dst));
     out.push_back(static_cast<double>(rec.finish - rec.start) /
                   static_cast<double>(ideal));
   }
@@ -94,7 +108,7 @@ FctTracker::bucket_slowdowns() const {
 
 std::vector<FlowRecord> FctTracker::unfinished() const {
   std::vector<FlowRecord> out;
-  for (const auto& [id, rec] : flows_) {
+  for (const auto& rec : sorted_records()) {
     if (rec.finish < 0) out.push_back(rec);
   }
   return out;

@@ -81,6 +81,12 @@ class FctTracker {
   std::vector<FlowRecord> unfinished() const;
 
  private:
+  /// Every record, sorted by flow id. All reporting paths drain the hash
+  /// map through here so their output (including order-sensitive float
+  /// accumulation like mean slowdown) never depends on hash iteration
+  /// order — the determinism lint bans unordered iteration in this TU.
+  std::vector<FlowRecord> sorted_records() const;
+
   IdealFn ideal_;
   std::unordered_map<std::uint64_t, FlowRecord> flows_;
   std::size_t finished_ = 0;

@@ -1,0 +1,14 @@
+// Negative-compile TU: a manual lock() with no matching unlock() on one
+// path. MUST fail under -Werror=thread-safety ("mutex 'mu' is still held
+// at the end of function"); the ctest wrapping it is declared WILL_FAIL.
+#include "common/mutex.hpp"
+
+int main(int argc, char**) {
+  paraleon::common::Mutex mu;
+  mu.lock();
+  if (argc > 1) {
+    return 1;  // leaks the capability on this path
+  }
+  mu.unlock();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Negative-compile TU: calling a PARALEON_REQUIRES(mu) function without
+// holding mu. MUST fail under -Werror=thread-safety (WILL_FAIL ctest).
+// This is the load-bearing annotation: deleting the REQUIRES attribute
+// from a function breaks its callers' proofs, so removal cannot pass CI.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Registry {
+ public:
+  int read() { return read_locked(); }  // missing lock acquisition
+
+ private:
+  int read_locked() PARALEON_REQUIRES(mu_) { return value_; }
+
+  paraleon::common::Mutex mu_;
+  int value_ PARALEON_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  return r.read();
+}

@@ -1,0 +1,25 @@
+// Negative-compile TU: writing a PARALEON_GUARDED_BY member without the
+// mutex held. Under `clang++ -Wthread-safety -Werror=thread-safety` this
+// MUST fail ("writing variable 'n_' requires holding mutex 'mu_'"); the
+// ctest wrapping it is declared WILL_FAIL. GCC accepts it (annotations
+// are no-ops there), which is exactly why the test is Clang-gated.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() { ++n_; }  // missing common::MutexLock lock(mu_)
+
+ private:
+  paraleon::common::Mutex mu_;
+  int n_ PARALEON_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}

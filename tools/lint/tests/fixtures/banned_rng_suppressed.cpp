@@ -1,0 +1,10 @@
+// Fixture: same-line and next-line lint:allow forms silence banned-rng.
+namespace fixture {
+
+int seeded_ok() {
+  // lint:allow(banned-rng) fixture: reviewed use, comment-line form.
+  std::mt19937 gen(7);
+  return rand() + static_cast<int>(gen());  // lint:allow(banned-rng) same-line form
+}
+
+}  // namespace fixture

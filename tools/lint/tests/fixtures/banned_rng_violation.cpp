@@ -1,0 +1,16 @@
+// Fixture: every raw-RNG form the banned-rng rule must catch.
+#include <random>
+
+namespace fixture {
+
+int bad_seed() {
+  std::mt19937 gen(42);
+  return rand() % static_cast<int>(gen());
+}
+
+int bad_device() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: suppressed hot-alloc advisory stays silent.
+namespace fixture {
+
+struct Packet {
+  int bytes;
+};
+
+Packet* fresh() {
+  // lint:allow(hot-alloc) fixture: setup-time allocation, not per-packet.
+  return new Packet{64};
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: hot-path allocations; advisory severity, reported not fatal.
+#include <memory>
+
+namespace fixture {
+
+struct Packet {
+  int bytes;
+};
+
+Packet* fresh() { return new Packet{64}; }
+
+std::shared_ptr<Packet> shared_fresh() {
+  return std::make_shared<Packet>();
+}
+
+std::unique_ptr<Packet> unique_fresh() {
+  return std::make_unique<Packet>();
+}
+
+}  // namespace fixture

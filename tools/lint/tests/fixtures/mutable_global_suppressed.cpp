@@ -1,0 +1,13 @@
+// Fixture: suppressed mutable-global-state findings stay silent.
+namespace fixture {
+
+// lint:allow(mutable-global-state) fixture: reviewed scratch counter.
+static int scratch = 0;
+
+int peek() {
+  // lint:allow(mutable-global-state) fixture: reviewed memo cell.
+  static int memo = 0;
+  return ++memo + scratch;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: mutable static state at every scope the rule distinguishes.
+namespace fixture {
+
+static int call_count = 0;
+
+struct Widget {
+  static int live_widgets;
+};
+
+int bump() {
+  static long cache = 0;
+  return static_cast<int>(++cache) + call_count + Widget::live_widgets;
+}
+
+// Const forms must NOT be flagged.
+static const int kLimit = 8;
+constexpr int kOther = 9;
+
+int limits() { return kLimit + kOther; }
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: pointer addresses folded into digest input (per config globs).
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+unsigned long long digest_pointer(const int* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+unsigned long long hash_pointer(const int* p) {
+  return std::hash<const int*>{}(p);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned collect-and-sort exit carries a suppression.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Table {
+  std::unordered_map<int, long> cells;
+
+  long sum() const {
+    long total = 0;
+    // lint:allow(unordered-iteration) fixture: drained into a total that
+    // is order-insensitive (integer addition commutes bit-exactly).
+    for (const auto& [key, value] : cells) total += value;
+    return total;
+  }
+};
+
+}  // namespace fixture

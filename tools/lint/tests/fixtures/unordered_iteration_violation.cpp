@@ -1,0 +1,18 @@
+// Fixture: unordered iteration in a digest-feeding TU (per config globs).
+#include <unordered_map>
+
+namespace fixture {
+
+struct Table {
+  std::unordered_map<int, long> cells;
+
+  long sum() const {
+    long total = 0;
+    for (const auto& [key, value] : cells) total += value;
+    return total;
+  }
+
+  auto first() const { return cells.begin(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// lint:allow-file(wall-clock) fixture: the whole-file waiver form.
+#include <chrono>
+
+namespace fixture {
+
+long read_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long read_again() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: wall-clock reads the wall-clock rule must catch.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long read_steady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long read_system() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long read_c_time() {
+  return static_cast<long>(std::time(nullptr));
+}
+
+}  // namespace fixture

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# clang-format gate over first-party C++ (config in .clang-format).
+#
+# Usage: tools/run_format.sh [--check|--fix]
+#   --check  (default) dry run; exits 1 if any file needs reformatting
+#   --fix    rewrite files in place
+#
+# Exits 0 when clean/fixed, 1 on formatting drift, 2 when clang-format is
+# unavailable (skipped — the container image may not ship clang; CI
+# installs it).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MODE="${1:---check}"
+
+case "$MODE" in
+  --check|--fix) ;;
+  *) echo "usage: tools/run_format.sh [--check|--fix]" >&2; exit 2 ;;
+esac
+
+FMT="$(command -v clang-format || true)"
+if [ -z "$FMT" ]; then
+  for v in 20 19 18 17 16 15; do
+    FMT="$(command -v "clang-format-$v" || true)"
+    [ -n "$FMT" ] && break
+  done
+fi
+if [ -z "$FMT" ]; then
+  echo "run_format: clang-format not found on PATH — skipping (install clang-format to enable the gate)" >&2
+  exit 2
+fi
+
+mapfile -t FILES < <(find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" \
+  "$ROOT/examples" \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+
+echo "run_format: $FMT ($MODE) over ${#FILES[@]} files" >&2
+
+if [ "$MODE" = "--fix" ]; then
+  "$FMT" -i "${FILES[@]}"
+  echo "run_format: formatted" >&2
+  exit 0
+fi
+
+FAILED=0
+for f in "${FILES[@]}"; do
+  if ! "$FMT" --dry-run --Werror "$f" 2>/dev/null; then
+    echo "needs formatting: ${f#"$ROOT"/}"
+    FAILED=1
+  fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "run_format: drift detected — run tools/run_format.sh --fix" >&2
+  exit 1
+fi
+echo "run_format: clean" >&2
