@@ -28,7 +28,9 @@ ParamSpace ParamSpace::standard(Rate line_rate, std::int64_t buffer_bytes) {
        [](const DcqcnParams& p) {
          return static_cast<double>(p.rpg_time_reset);
        },
-       [](DcqcnParams& p, double v) { p.rpg_time_reset = static_cast<Time>(v); },
+       [](DcqcnParams& p, double v) {
+         p.rpg_time_reset = static_cast<Time>(v);
+       },
        static_cast<double>(microseconds(10)),
        static_cast<double>(microseconds(2000)),
        static_cast<double>(microseconds(50)), -1},

@@ -12,9 +12,11 @@ namespace paraleon::runner {
 
 inline void print_header(const std::string& title,
                          const std::string& scaling_note) {
-  std::printf("\n============================================================\n");
+  std::printf(
+      "\n============================================================\n");
   std::printf("%s\n", title.c_str());
-  if (!scaling_note.empty()) std::printf("# scaling: %s\n", scaling_note.c_str());
+  if (!scaling_note.empty())
+    std::printf("# scaling: %s\n", scaling_note.c_str());
   std::printf("============================================================\n");
 }
 

@@ -112,7 +112,8 @@ void SwitchNode::receive(const Packet& pkt, int in_port) {
 void SwitchNode::admit_data(Packet pkt, int in_port) {
   rx_data_bytes_[in_port] += pkt.size_bytes;
   if (used_ + pkt.size_bytes > cfg_.buffer_bytes) {
-    drops_.inc();  // lossless fabrics should never get here; counted, not hidden
+    // lossless fabrics should never get here; counted, not hidden
+    drops_.inc();
     obs::TraceRecorder& tr = sim_->obs().trace();
     if (tr.enabled(obs::TraceCategory::kPacket)) {
       tr.instant(obs::TraceCategory::kPacket, "mmu.drop", sim_->now(), id(),
@@ -177,8 +178,8 @@ void SwitchNode::maybe_mark_ecn(Packet& pkt, const NetDevice& egress) {
 
 std::int64_t SwitchNode::xoff_threshold() const {
   return static_cast<std::int64_t>(
-      cfg_.pfc_alpha *
-      static_cast<double>(std::max<std::int64_t>(0, cfg_.buffer_bytes - used_)));
+      cfg_.pfc_alpha * static_cast<double>(std::max<std::int64_t>(
+                           0, cfg_.buffer_bytes - used_)));
 }
 
 void SwitchNode::check_pfc_xoff(int in_port) {

@@ -36,7 +36,8 @@ struct EcnConfig {
 struct SwitchConfig {
   std::int64_t buffer_bytes = 12ll * 1024 * 1024;  // paper: 12 MB
   double pfc_alpha = 1.0 / 8.0;                    // paper §V
-  Time pfc_pause_duration = microseconds(65);      // XOFF quanta; XON cuts it short
+  // XOFF quanta; XON cuts it short
+  Time pfc_pause_duration = microseconds(65);
   std::int64_t mtu_bytes = 1024;
   bool pfc_enabled = true;
 };

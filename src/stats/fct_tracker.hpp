@@ -28,8 +28,8 @@ class FctTracker {
  public:
   /// `ideal_fct` maps (size, src, dst) to the idle-network FCT used as the
   /// slowdown denominator.
-  using IdealFn =
-      std::function<Time(std::int64_t size, std::uint32_t src, std::uint32_t dst)>;
+  using IdealFn = std::function<Time(std::int64_t size, std::uint32_t src,
+                                     std::uint32_t dst)>;
 
   explicit FctTracker(IdealFn ideal_fct) : ideal_(std::move(ideal_fct)) {}
 

@@ -39,7 +39,8 @@ TEST(ThreadPool, ResultsComeBackInSubmissionOrder) {
   }
   const std::vector<int> results = set.wait_all();
   ASSERT_EQ(results.size(), 8u);
-  for (int i = 0; i < 8; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], i);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i);
 }
 
 TEST(ThreadPool, ZeroJobsYieldsEmptyResult) {

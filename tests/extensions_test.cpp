@@ -235,8 +235,9 @@ TEST(CsvExport, FailsOnBadPath) {
 }
 
 TEST(SweepSeeds, Aggregates) {
-  const auto s = runner::sweep_seeds(
-      {1, 2, 3, 4}, [](std::uint64_t seed) { return static_cast<double>(seed); });
+  const auto s = runner::sweep_seeds({1, 2, 3, 4}, [](std::uint64_t seed) {
+    return static_cast<double>(seed);
+  });
   EXPECT_EQ(s.n, 4u);
   EXPECT_DOUBLE_EQ(s.mean, 2.5);
   EXPECT_DOUBLE_EQ(s.min, 1.0);

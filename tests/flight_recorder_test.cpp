@@ -167,7 +167,8 @@ TEST(FlightRecorderTest, CheckFailureDumpsCompleteBundle) {
   }
   // The failure itself is preserved with the MMU conservation message.
   bool ok = false;
-  const std::string failure = BundleWriter::read_file(bundle, "failure.json", &ok);
+  const std::string failure =
+      BundleWriter::read_file(bundle, "failure.json", &ok);
   ASSERT_TRUE(ok);
   EXPECT_NE(failure.find("not conserved"), std::string::npos);
   // And the manifest names the reason.

@@ -138,10 +138,13 @@ TEST(InvariantChecker, ReportsPfcDeadlock) {
   // Hold the host uplink paused far past the bound; periodic ticks give
   // the checker events to observe the stuck pause.
   topo.host(0).uplink().pause_data(seconds(2));
-  std::function<void()> tick = [&] { sim.schedule_in(microseconds(100), tick); };
+  std::function<void()> tick = [&] {
+    sim.schedule_in(microseconds(100), tick);
+  };
   sim.schedule_at(0, tick);
   EXPECT_THROW(sim.run_until(milliseconds(10)), CheckFailure);
-  EXPECT_LT(sim.now(), milliseconds(3));  // caught near the bound, not at the horizon
+  // caught near the bound, not at the horizon
+  EXPECT_LT(sim.now(), milliseconds(3));
 }
 
 TEST(InvariantChecker, PauseWithinBoundIsNotADeadlock) {
@@ -159,7 +162,9 @@ TEST(InvariantChecker, PauseWithinBoundIsNotADeadlock) {
   checker.watch(topo);
 
   topo.host(0).uplink().pause_data(microseconds(300));  // resumes well in bound
-  std::function<void()> tick = [&] { sim.schedule_in(microseconds(100), tick); };
+  std::function<void()> tick = [&] {
+    sim.schedule_in(microseconds(100), tick);
+  };
   sim.schedule_at(0, tick);
   EXPECT_NO_THROW(sim.run_until(milliseconds(5)));
 }

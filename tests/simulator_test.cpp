@@ -135,9 +135,12 @@ TEST(Simulator, SameTimestampOrderedBySequenceAcrossSources) {
   // same-timestamp events are scheduled from different earlier events.
   Simulator sim;
   std::vector<int> order;
-  sim.schedule_at(10, [&] { sim.schedule_at(50, [&] { order.push_back(1); }); });
-  sim.schedule_at(20, [&] { sim.schedule_at(50, [&] { order.push_back(2); }); });
-  sim.schedule_at(30, [&] { sim.schedule_at(50, [&] { order.push_back(3); }); });
+  sim.schedule_at(10,
+                  [&] { sim.schedule_at(50, [&] { order.push_back(1); }); });
+  sim.schedule_at(20,
+                  [&] { sim.schedule_at(50, [&] { order.push_back(2); }); });
+  sim.schedule_at(30,
+                  [&] { sim.schedule_at(50, [&] { order.push_back(3); }); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }

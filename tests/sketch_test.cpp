@@ -108,7 +108,8 @@ TEST(ElasticSketch, AccurateForTopFlowsAtScale) {
   // Elephants (the 20 big flows) must be measured within 10%.
   for (std::uint64_t f = 0; f < 20; ++f) {
     EXPECT_NEAR(static_cast<double>(es.query(f)),
-                static_cast<double>(truth[f]), 0.1 * static_cast<double>(truth[f]));
+                static_cast<double>(truth[f]),
+                0.1 * static_cast<double>(truth[f]));
   }
 }
 
@@ -145,7 +146,8 @@ TEST_P(SketchLoadTest, HeavyHitterRecallUnderLoad) {
     es.insert(1000 + rng.uniform_index(n_flows), 500);
   }
   for (int e = 0; e < 10; ++e) {
-    for (int i = 0; i < 2000; ++i) es.insert(static_cast<std::uint64_t>(e), 1500);
+    for (int i = 0; i < 2000; ++i)
+      es.insert(static_cast<std::uint64_t>(e), 1500);
   }
   // All 10 elephants must be present in the heavy part with large counts.
   const auto flows = es.heavy_flows();
