@@ -61,7 +61,9 @@ void run_variant(const Variant& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header(
       "Engineering ablation: Algorithm 1 additions (Fig. 8 scenario)",
       scaling_note(paper_fabric(Scheme::kParaleon, 9),
@@ -81,5 +83,8 @@ int main() {
       "\nExpectation: utility climbs (or holds with lower variance) as the\n"
       "safeguards come in; 'plain_alg1' shows the exploration damage an\n"
       "unguarded 1-MI-evaluation loop inflicts at this fabric scale.\n");
+  TrendReport trend("ablation_engineering");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(cli, trend);
   return 0;
 }

@@ -7,11 +7,15 @@
 // presets are rescaled with dcqcn::scaled_for_line_rate (see DESIGN.md).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "runner/experiment.hpp"
 #include "runner/report.hpp"
@@ -23,24 +27,57 @@ using runner::Experiment;
 using runner::ExperimentConfig;
 using runner::Scheme;
 
+/// The machine fingerprint the scaling notes print and the committed
+/// BENCH_*.json baselines carry: wall-clock metrics are only comparable
+/// between runs whose fingerprints match (tools/bench_trend.py warns on a
+/// mismatch), and deterministic metrics are attributable to a toolchain.
+inline std::string compiler_id() {
+#if defined(__clang__)
+  return "clang-" + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc-" + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#else
+  return "unknown";
+#endif
+}
+
+/// "Release"/"Debug" from NDEBUG — the axis that actually moves bench
+/// numbers, independent of the exact CMAKE_BUILD_TYPE spelling.
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+inline unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
 /// The standard machine-parseable scaling note every bench header emits:
 /// the fabric dimensions as key=value pairs derived from the config the
 /// bench actually runs (several benches used to format this by hand, and
-/// the hand-written numbers drifted), then `;` and the bench's free-text
-/// comparison to the paper setup.
+/// the hand-written numbers drifted), plus the machine fingerprint, then
+/// `;` and the bench's free-text comparison to the paper setup.
 inline std::string scaling_note(const ExperimentConfig& cfg,
                                 const std::string& extra = "") {
-  char buf[192];
+  char buf[256];
   std::snprintf(buf, sizeof buf,
                 "hosts=%d tor=%d leaf=%d host_gbps=%g fabric_gbps=%g "
-                "buffer_mb=%g duration_ms=%g seed=%llu",
+                "buffer_mb=%g duration_ms=%g seed=%llu cc=%s build=%s "
+                "hw_threads=%u",
                 cfg.clos.n_tor * cfg.clos.hosts_per_tor, cfg.clos.n_tor,
                 cfg.clos.n_leaf, to_gbps(cfg.clos.host_link),
                 to_gbps(cfg.clos.fabric_link),
                 static_cast<double>(cfg.clos.switch_cfg.buffer_bytes) /
                     (1024.0 * 1024.0),
                 to_ms(cfg.duration),
-                static_cast<unsigned long long>(cfg.seed));
+                static_cast<unsigned long long>(cfg.seed),
+                compiler_id().c_str(), build_type(), hardware_threads());
   std::string note = buf;
   if (!extra.empty()) note += "; " + extra;
   return note;
@@ -61,13 +98,21 @@ inline std::string scaling_note(const ExperimentConfig& cfg,
 /// default 1 = serial), `--sweep N` asks a sweep-capable bench (fig8) to
 /// run N seeds serial-then-parallel and verify the digests match, and
 /// `--sweep-out FILE` writes that comparison as a JSON artifact.
+///
+/// Perf-trend flags: `--perf` enables the event-loop PerfMonitor
+/// (obs::PerfMonitor counters in the run's "perf" report section), and
+/// `--perf-out FILE` additionally writes the bench's metrics as one
+/// `paraleon.bench.v1` JSON document — the shape the committed
+/// BENCH_*.json baselines use and tools/bench_trend.py compares.
 struct ObsCli {
   bool trace = false;
   bool tiny = false;
   bool flight = false;
   bool flight_fault = false;
+  bool perf = false;
   std::string replay_bundle;  // empty = no replay requested
   std::string out_dir = ".";
+  std::string perf_out;  // empty = no bench-trend artifact
   int jobs = 1;          // parallel_map worker count (0 = hardware)
   int sweep = 0;         // 0 = no sweep mode requested
   std::string sweep_out; // empty = print only, no JSON artifact
@@ -87,6 +132,11 @@ inline ObsCli parse_obs_cli(int argc, char** argv) {
       cli.flight_fault = true;
     } else if (std::strcmp(argv[i], "--replay-flight") == 0 && i + 1 < argc) {
       cli.replay_bundle = argv[++i];
+    } else if (std::strcmp(argv[i], "--perf") == 0) {
+      cli.perf = true;
+    } else if (std::strcmp(argv[i], "--perf-out") == 0 && i + 1 < argc) {
+      cli.perf = true;
+      cli.perf_out = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
       cli.out_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -107,13 +157,15 @@ inline int strip_obs_cli(int argc, char** argv) {
   const auto takes_value = [](const char* a) {
     return std::strcmp(a, "--obs-out") == 0 ||
            std::strcmp(a, "--replay-flight") == 0 ||
+           std::strcmp(a, "--perf-out") == 0 ||
            std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "--sweep") == 0 ||
            std::strcmp(a, "--sweep-out") == 0;
   };
   const auto is_flag = [](const char* a) {
     return std::strcmp(a, "--trace") == 0 || std::strcmp(a, "--tiny") == 0 ||
            std::strcmp(a, "--flight") == 0 ||
-           std::strcmp(a, "--flight-fault") == 0;
+           std::strcmp(a, "--flight-fault") == 0 ||
+           std::strcmp(a, "--perf") == 0;
   };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -136,6 +188,9 @@ inline void apply_obs_cli(const ObsCli& cli, ExperimentConfig& cfg) {
   if (cli.trace) {
     cfg.obs.trace = obs::TraceConfig::all_on();
     cfg.obs.counter_scrape_interval = milliseconds(1);
+  }
+  if (cli.perf) {
+    cfg.obs.perf_counters = true;
   }
   if (cli.flight) {
     cfg.obs.flight.armed = true;
@@ -166,6 +221,105 @@ inline void dump_obs(const ObsCli& cli, const Experiment& exp,
   std::printf("# obs: wrote %s.trace.json and %s.obs.json\n", base.c_str(),
               base.c_str());
 }
+
+/// One `paraleon.bench.v1` document: the bench's headline metrics as
+/// name -> {value, unit} plus the machine fingerprint. Written by
+/// --perf-out, committed as the BENCH_*.json baselines, compared by
+/// tools/bench_trend.py (gate fields — tolerances, direction — live only
+/// in the baselines; a fresh run carries values).
+class TrendReport {
+ public:
+  explicit TrendReport(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void add(const std::string& name, double value,
+           const std::string& unit = "") {
+    metrics_[name] = {value, unit};
+  }
+
+  /// Serializes the document (sorted metric order, so reruns diff clean).
+  std::string to_json() const {
+    std::string out = "{\n  \"schema\": \"paraleon.bench.v1\",\n";
+    out += "  \"bench\": \"" + bench_ + "\",\n";
+    out += "  \"fingerprint\": {\"compiler\": \"" + compiler_id();
+    out += "\", \"build_type\": \"" + std::string(build_type());
+    out += "\", \"hardware_threads\": " + std::to_string(hardware_threads());
+    out += "},\n  \"metrics\": {";
+    bool first = true;
+    for (const auto& [name, m] : metrics_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    \"" + name + "\": {\"value\": " + obs::format_value(m.value);
+      if (!m.unit.empty()) out += ", \"unit\": \"" + m.unit + "\"";
+      out += "}";
+    }
+    out += metrics_.empty() ? "}" : "\n  }";
+    out += "\n}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream f(path);
+    f << to_json();
+    return static_cast<bool>(f);
+  }
+
+ private:
+  struct Metric {
+    double value = 0;
+    std::string unit;
+  };
+  std::string bench_;
+  std::map<std::string, Metric> metrics_;
+};
+
+/// The standard PerfMonitor metric block: every bench that ran an
+/// instrumented experiment reports the same event-loop economics, so the
+/// trend across benches is comparable. No-op while the monitor is off.
+inline void add_perf_metrics(TrendReport& r, const Experiment& exp) {
+  const obs::PerfMonitor& perf = exp.simulator().obs().perf();
+  if (!perf.enabled()) return;
+  r.add("events_executed", static_cast<double>(perf.events_executed()),
+        "events");
+  r.add("events_scheduled", static_cast<double>(perf.events_scheduled()),
+        "events");
+  r.add("max_queue_depth", static_cast<double>(perf.max_queue_depth()),
+        "events");
+  r.add("closure_heap_allocs",
+        static_cast<double>(perf.closure_heap_allocs()), "allocs");
+  r.add("packet_enqueues", static_cast<double>(perf.packet_enqueues()),
+        "packets");
+  // Wall metrics: machine-dependent — the baselines gate these loosely or
+  // not at all (see docs/PERFORMANCE.md).
+  r.add("wall_seconds", perf.wall_seconds(), "s");
+  r.add("events_per_sec", perf.events_per_sec(), "events/s");
+}
+
+/// Writes the bench-trend artifact when --perf-out was given.
+inline void write_trend(const ObsCli& cli, const TrendReport& report) {
+  if (cli.perf_out.empty()) return;
+  if (report.write(cli.perf_out)) {
+    std::printf("# perf: wrote %s\n", cli.perf_out.c_str());
+  } else {
+    std::fprintf(stderr, "# perf: FAILED to write %s\n",
+                 cli.perf_out.c_str());
+  }
+}
+
+/// Wall-clock stopwatch for bench-level timing (bench TUs are outside the
+/// determinism-linted tree; simulation code must never use this).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Paper-shaped fabric at laptop scale: 8 ToR, 4 leaf, 8 hosts/ToR
 /// (64 hosts), 10 Gbps host links, 5 Gbps fabric links — per ToR 80G down

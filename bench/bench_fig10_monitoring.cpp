@@ -39,7 +39,9 @@ Result run_scheme(Scheme s, double load, Time duration) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header("Fig. 10: monitoring designs — FSD accuracy and FCT",
                scaling_note(paper_fabric(Scheme::kParaleon, 31),
                             "FB_Hadoop, 300 ms; NetFlow: 1:100 sampling, "
@@ -77,5 +79,8 @@ int main() {
   std::printf(
       "\nPaper Fig. 10 shape: accuracy PARALEON > ElasticSketch > NetFlow\n"
       "at every load; FCT follows the same order with No_FSD worst.\n");
+  TrendReport trend("fig10_monitoring");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(cli, trend);
   return 0;
 }

@@ -34,7 +34,9 @@ Result run_one(Scheme s, Time mi) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header("Fig. 11: monitor interval vs FSD accuracy and FCT",
                scaling_note(paper_fabric(Scheme::kParaleon, 37),
                             "FB_Hadoop @30%, 300 ms per cell"));
@@ -54,5 +56,8 @@ int main() {
       "\nPaper Fig. 11 shape: PARALEON accuracy ~100%% at every interval;\n"
       "naive sketch accuracy rises with the interval but stays below;\n"
       "PARALEON FCT <= naive-sketch FCT throughout.\n");
+  TrendReport trend("fig11_interval");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(cli, trend);
   return 0;
 }

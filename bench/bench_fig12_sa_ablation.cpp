@@ -107,6 +107,7 @@ void shadow_fleet_section() {
 
 int main(int argc, char** argv) {
   g_cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header("Fig. 12: SA ablation — utility convergence, naive vs guided",
                scaling_note(paper_fabric(Scheme::kParaleon, 53),
                             "one forced tuning episode; 10 iters/temp, "
@@ -122,5 +123,8 @@ int main(int argc, char** argv) {
       "half reproduces strongly; the alltoall half is close to a tie at\n"
       "this fabric scale (its utility landscape is flat — see\n"
       "EXPERIMENTS.md).\n");
+  TrendReport trend("fig12_sa_ablation");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(g_cli, trend);
   return 0;
 }

@@ -25,7 +25,12 @@ namespace {
 
 ObsCli g_cli;
 
-double avg_bw_gbps(Scheme s, int workers) {
+struct CellResult {
+  double bw_gbps = 0;
+  std::uint64_t events = 0;  // 0 unless --perf enabled the PerfMonitor
+};
+
+CellResult avg_bw_gbps(Scheme s, int workers) {
   ExperimentConfig cfg = paper_fabric(s, 61);
   cfg.duration = g_cli.tiny ? milliseconds(60) : milliseconds(300);
   // Testbed used a 30 ms MI; our scaled fabric keeps 1 ms (the run is
@@ -34,6 +39,9 @@ double avg_bw_gbps(Scheme s, int workers) {
   cfg.controller.sa.cooling_rate = 0.6;
   cfg.controller.sa.final_temp = 20;
   cfg.controller.weights = core::UtilityWeights::throughput_sensitive();
+  // Only the perf knob: trace/flight stay per-run flags for the benches
+  // that dump those artifacts (cells here run on pool threads).
+  if (g_cli.perf) cfg.obs.perf_counters = true;
   Experiment exp(cfg);
   workload::AlltoallConfig a2a;
   for (int i = 0; i < workers; ++i) a2a.workers.push_back(i * (64 / workers));
@@ -43,7 +51,11 @@ double avg_bw_gbps(Scheme s, int workers) {
   if (exp.controller() != nullptr) exp.controller()->force_trigger();
   exp.run();
   const Time tail_from = g_cli.tiny ? milliseconds(20) : milliseconds(100);
-  return exp.throughput_series().mean_in(tail_from, exp.config().duration);
+  CellResult r;
+  r.bw_gbps =
+      exp.throughput_series().mean_in(tail_from, exp.config().duration);
+  r.events = exp.simulator().obs().perf().events_executed();
+  return r;
 }
 
 }  // namespace
@@ -62,27 +74,41 @@ int main(int argc, char** argv) {
   for (Scheme s : schemes) {
     for (int n : scales) cells.emplace_back(s, n);
   }
-  const std::vector<double> bw = exec::parallel_map(
+  const WallTimer wall;
+  const std::vector<CellResult> bw = exec::parallel_map(
       cells,
       [](const std::pair<Scheme, int>& cell) {
         return avg_bw_gbps(cell.first, cell.second);
       },
       g_cli.jobs);
+  const double grid_seconds = wall.seconds();
 
+  TrendReport trend("fig13_alltoall_scale");
   std::printf("%-10s", "scheme");
   for (int n : scales) std::printf("%8dx%-4d", n, n);
   std::printf("\n");
   std::size_t cell = 0;
+  std::uint64_t total_events = 0;
   for (Scheme s : schemes) {
     std::printf("%-10s", scheme_name(s).c_str());
     for (std::size_t i = 0; i < std::size(scales); ++i) {
-      std::printf("%10.2f  ", bw[cell++]);
+      const CellResult& r = bw[cell++];
+      std::printf("%10.2f  ", r.bw_gbps);
+      trend.add("bw_" + scheme_name(s) + "_" + std::to_string(scales[i]) +
+                    "_gbps",
+                r.bw_gbps, "Gbps");
+      total_events += r.events;
     }
     std::printf("\n");
   }
+  if (total_events > 0) {
+    trend.add("events_executed", static_cast<double>(total_events), "events");
+  }
+  trend.add("wall_seconds", grid_seconds, "s");
   std::printf(
       "\nValues: mean aggregate goodput (Gbps) over the steady half of the\n"
       "run. Paper Fig. 13 shape: PARALEON >= max(Default, Expert) at every\n"
       "scale, by up to 19.5%%.\n");
+  write_trend(g_cli, trend);
   return 0;
 }

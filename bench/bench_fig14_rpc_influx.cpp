@@ -64,7 +64,9 @@ void run_scheme(Scheme s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header("Fig. 14: runtime bandwidth & latency with SolarRPC influx",
                scaling_note(paper_fabric(Scheme::kParaleon, 77),
                             "32-worker alltoall background + 50 ms SolarRPC "
@@ -82,5 +84,8 @@ int main() {
       "\nPaper Fig. 14 shape: PARALEON has the lowest latency (and best\n"
       "RPC tail) during the burst and recovers bandwidth fastest after\n"
       "it.\n");
+  TrendReport trend("fig14_rpc_influx");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(cli, trend);
   return 0;
 }

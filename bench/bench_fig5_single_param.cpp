@@ -101,7 +101,9 @@ void hai_recovery_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header("Fig. 5: single-parameter impacts on throughput & RTT",
                scaling_note(small_fabric(Scheme::kCustomStatic, 7),
                             "12x12 alltoall, parameter units scaled to 10G "
@@ -134,5 +136,8 @@ int main() {
   std::printf(
       "\nPaper Fig. 5 shape: hai_rate & rate_reduce_monitor_period &\n"
       "kmax up => throughput up, RTT up; rpg_time_reset down => same.\n");
+  TrendReport trend("fig5_single_param");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(cli, trend);
   return 0;
 }

@@ -48,7 +48,9 @@ Point run_cell(Time rpg_time_reset, std::int64_t kmax) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header("Fig. 6: inter-parameter impact grid (rpg_time_reset x kmax)",
                scaling_note(small_fabric(Scheme::kCustomStatic, 13),
                             "12x12 alltoall (paper used 100G NS3)"));
@@ -85,5 +87,8 @@ int main() {
       "(towards top-right: small t_reset, large kmax) throughput is NOT\n"
       "monotone — the most aggressive corner should underperform some\n"
       "interior cell, and RTT grows sharply there.\n");
+  TrendReport trend("fig6_inter_param");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(cli, trend);
   return 0;
 }

@@ -106,6 +106,7 @@ void llm_part(int workers) {
 
 int main(int argc, char** argv) {
   g_cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header("Fig. 7: FCT of 5 tuning schemes (FB_Hadoop + LLM alltoall)",
                scaling_note(paper_fabric(Scheme::kParaleon, 3),
                             "400 ms, flows scaled (paper: 128 hosts @100G "
@@ -120,5 +121,8 @@ int main(int argc, char** argv) {
       "PARALEON ahead of Default/ACC/DCQCN+ here; the scaled Expert preset\n"
       "is a strong static baseline at this fabric scale (see\n"
       "EXPERIMENTS.md).\n");
+  TrendReport trend("fig7_fct");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(g_cli, trend);
   return 0;
 }

@@ -190,7 +190,7 @@ int run_sweep(int n) {
   return 0;
 }
 
-void run_scheme(Scheme s) {
+void run_scheme(Scheme s, TrendReport* trend) {
   ExperimentConfig cfg = fig8_config(s);
   const Time influx_start = g_cli.tiny ? milliseconds(20) : kInfluxStart;
   const Time influx_end = g_cli.tiny ? milliseconds(35) : kInfluxEnd;
@@ -206,16 +206,35 @@ void run_scheme(Scheme s) {
   const auto phase = [&](Time a, Time b) {
     std::printf(" | %8.2f %8.2f", tput.mean_in(a, b), rtt.mean_in(a, b));
   };
-  phase(g_cli.tiny ? milliseconds(5) : milliseconds(60),
-        influx_start);                                // before
+  const Time before_start = g_cli.tiny ? milliseconds(5) : milliseconds(60);
+  const Time tail_start =
+      end - (g_cli.tiny ? milliseconds(20) : milliseconds(100));
+  phase(before_start, influx_start);                  // before
   phase(influx_start + milliseconds(2), influx_end);  // influx
-  phase(end - (g_cli.tiny ? milliseconds(20) : milliseconds(100)),
-        end);  // after (converged tail)
+  phase(tail_start, end);  // after (converged tail)
   if (exp.controller() != nullptr) {
     std::printf("  (episodes=%llu)",
                 static_cast<unsigned long long>(exp.controller()->episodes()));
   }
   std::printf("\n");
+
+  // The PARALEON run is the one the committed BENCH_fig8.json baseline
+  // tracks: the three phase means, flow completions, and the event-loop
+  // economics from the PerfMonitor.
+  if (s == Scheme::kParaleon && trend != nullptr) {
+    trend->add("before_tput_gbps", tput.mean_in(before_start, influx_start),
+               "Gbps");
+    trend->add("influx_rtt_us",
+               rtt.mean_in(influx_start + milliseconds(2), influx_end), "us");
+    trend->add("after_tput_gbps", tput.mean_in(tail_start, end), "Gbps");
+    trend->add("fct_finished", static_cast<double>(exp.fct().finished()),
+               "flows");
+    if (exp.controller() != nullptr) {
+      trend->add("episodes", static_cast<double>(exp.controller()->episodes()),
+                 "episodes");
+    }
+    add_perf_metrics(*trend, exp);
+  }
 }
 
 }  // namespace
@@ -233,12 +252,14 @@ int main(int argc, char** argv) {
               "", "influx", "", "after", "");
   std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s\n", "scheme", "Gbps",
               "rtt_us", "Gbps", "rtt_us", "Gbps", "rtt_us");
+  TrendReport trend("fig8_influx");
   for (Scheme s : {Scheme::kDefaultStatic, Scheme::kExpertStatic,
                    Scheme::kAcc, Scheme::kDcqcnPlus, Scheme::kParaleon}) {
-    run_scheme(s);
+    run_scheme(s, &trend);
   }
   std::printf(
       "\nPaper Fig. 8 shape: PARALEON shows the lowest RTT during the\n"
       "influx window and the highest throughput after it.\n");
+  write_trend(g_cli, trend);
   return 0;
 }

@@ -80,7 +80,9 @@ void run_influx(const std::string& name, ExperimentConfig cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header("Fig. 9: live PARALEON vs offline-pretrained static settings",
                scaling_note(paper_fabric(Scheme::kParaleon, 71),
                             "pretraining: 200 ms offline episodes; "
@@ -88,7 +90,8 @@ int main() {
   const dcqcn::DcqcnParams pre1 = pretrain_on_alltoall();
   const dcqcn::DcqcnParams pre2 = pretrain_on_fb_hadoop();
   std::printf("Pretrained1 (alltoall):  %s\n", dcqcn::to_string(pre1).c_str());
-  std::printf("Pretrained2 (fb_hadoop): %s\n\n", dcqcn::to_string(pre2).c_str());
+  std::printf("Pretrained2 (fb_hadoop): %s\n\n",
+              dcqcn::to_string(pre2).c_str());
   std::printf("%-14s | %8s %8s | %8s %8s | %8s %8s\n", "scheme",
               "pre_Gbps", "pre_rtt", "inf_Gbps", "inf_rtt", "post_Gbps",
               "post_rtt");
@@ -107,5 +110,8 @@ int main() {
       "\nPaper Fig. 9 shape: the pretrained settings capture only their\n"
       "training workload; live PARALEON achieves lower RTT during the\n"
       "influx AND higher throughput afterwards.\n");
+  TrendReport trend("fig9_pretrained");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(cli, trend);
   return 0;
 }

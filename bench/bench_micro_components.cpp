@@ -3,6 +3,7 @@
 // update, KL divergence, SA mutation, and the event engine.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -124,6 +125,69 @@ void BM_EventQueueScheduleRunAttribution(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRunAttribution);
 
+// Same loop with the PerfMonitor enabled: the telemetry this PR adds to
+// the engine hot path. Its counters are a few integer ops per event, so
+// dispatch must stay inside the <2% overhead gate (BENCH_micro.json's
+// event_loop_perf_overhead_pct metric, measured below in main).
+void BM_EventQueueScheduleRunPerfCounters(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.obs().perf().set_enabled(true);
+    int sink = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at((i * 7919) % 100000, [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueScheduleRunPerfCounters);
+
+/// One schedule+run pass over the overhead-measurement workload; returns
+/// wall seconds (schedule hooks included — they are hot path too).
+double timed_event_loop(bool perf_on, std::uint64_t* events_out) {
+  sim::Simulator sim;
+  sim.obs().perf().set_enabled(perf_on);
+  int sink = 0;
+  const paraleon::bench::WallTimer t;
+  for (int i = 0; i < 200000; ++i) {
+    sim.schedule_at((i * 7919) % 1000000, [&sink] { ++sink; });
+  }
+  sim.run();
+  const double s = t.seconds();
+  benchmark::DoNotOptimize(sink);
+  if (events_out != nullptr) *events_out = sim.events_executed();
+  return s;
+}
+
+/// The bench-trend artifact: min-of-N wall times for the event loop with
+/// the PerfMonitor off vs on, the overhead between them, and the
+/// deterministic event count. Min-of-N because the trend gate wants the
+/// machine's best case, not its scheduler noise.
+void write_micro_trend(const paraleon::bench::ObsCli& cli) {
+  constexpr int kReps = 7;
+  double off_s = 1e9, on_s = 1e9;
+  std::uint64_t events = 0;
+  for (int i = 0; i < kReps; ++i) {
+    off_s = std::min(off_s, timed_event_loop(false, nullptr));
+    on_s = std::min(on_s, timed_event_loop(true, &events));
+  }
+  const double overhead_pct = (on_s - off_s) / off_s * 100.0;
+  paraleon::bench::TrendReport trend("micro_components");
+  trend.add("event_loop_events", static_cast<double>(events), "events");
+  trend.add("event_loop_baseline_eps", static_cast<double>(events) / off_s,
+            "events/s");
+  trend.add("event_loop_perf_eps", static_cast<double>(events) / on_s,
+            "events/s");
+  trend.add("event_loop_perf_overhead_pct", overhead_pct, "%");
+  std::printf("# perf: event loop %.0f events/s off, %.0f events/s on, "
+              "overhead %.2f%%\n",
+              static_cast<double>(events) / off_s,
+              static_cast<double>(events) / on_s, overhead_pct);
+  paraleon::bench::write_trend(cli, trend);
+}
+
 }  // namespace
 }  // namespace paraleon
 
@@ -157,6 +221,9 @@ int main(int argc, char** argv) {
                   .c_str());
 
   benchmark::RunSpecifiedBenchmarks();
+  // The bench-trend artifact is measured outside google-benchmark so the
+  // off/on comparison shares one workload and one min-of-N policy.
+  if (!cli.perf_out.empty()) paraleon::write_micro_trend(cli);
   benchmark::Shutdown();
   return 0;
 }

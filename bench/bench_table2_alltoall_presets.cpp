@@ -34,7 +34,9 @@ double algbw_for(Scheme scheme, std::int64_t per_pair_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header(
       "Table II: alltoall out-of-place algbw (GB/s), Default vs Expert",
       scaling_note(paper_fabric(Scheme::kDefaultStatic, 42),
@@ -55,5 +57,8 @@ int main() {
       "\nPaper Table II shape: Expert exceeds Default at every size, by\n"
       "2-6x (e.g. 25.69 vs 6.37 GB/s at 512MB). Expect the same ordering\n"
       "with a growing absolute gap here.\n");
+  TrendReport trend("table2_alltoall_presets");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(cli, trend);
   return 0;
 }

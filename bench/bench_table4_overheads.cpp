@@ -13,7 +13,9 @@ using namespace paraleon;
 using namespace paraleon::bench;
 using namespace paraleon::runner;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  const WallTimer wall;
   print_header("Table IV: PARALEON system overheads",
                scaling_note(paper_fabric(Scheme::kParaleon, 91),
                             "continuous tuning (paper values from a "
@@ -96,5 +98,12 @@ int main() {
               static_cast<long long>(oh.rnic_to_controller_bytes),
               static_cast<long long>(oh.controller_to_devices_bytes),
               static_cast<unsigned long long>(exp.controller()->episodes()));
+  TrendReport trend("table4_overheads");
+  trend.add("switch_to_controller_bytes",
+            static_cast<double>(oh.switch_to_controller_bytes), "B");
+  trend.add("controller_to_devices_bytes",
+            static_cast<double>(oh.controller_to_devices_bytes), "B");
+  trend.add("wall_seconds", wall.seconds(), "s");
+  write_trend(cli, trend);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "obs/attribution.hpp"
 #include "obs/counters.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/perf.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
@@ -21,6 +22,10 @@ struct ObsConfig {
   /// Wall-clock self-profiling of the event loop (nondeterministic output;
   /// reported via runner::run_meta, never digested).
   bool profile_loop = false;
+  /// Always-cheap event-loop telemetry (obs::PerfMonitor): deterministic
+  /// scheduling/allocation counters plus a run wall window. Reported as
+  /// the "perf" section of runner::obs_report_json; never digested.
+  bool perf_counters = false;
   /// > 0: scrape every registry instrument into a stats::TimeSeries each
   /// interval of simulated time (Experiment::counter_scrapes()).
   Time counter_scrape_interval = 0;
@@ -39,6 +44,8 @@ class Observability {
   const TraceRecorder& trace() const { return trace_; }
   LoopProfiler& profiler() { return profiler_; }
   const LoopProfiler& profiler() const { return profiler_; }
+  PerfMonitor& perf() { return perf_; }
+  const PerfMonitor& perf() const { return perf_; }
   AttributionEngine& attribution() { return attribution_; }
   const AttributionEngine& attribution() const { return attribution_; }
 
@@ -46,6 +53,7 @@ class Observability {
   Registry registry_;
   TraceRecorder trace_;
   LoopProfiler profiler_;
+  PerfMonitor perf_;
   AttributionEngine attribution_;
 };
 

@@ -1,0 +1,141 @@
+#include "obs/perf.hpp"
+
+#include <chrono>
+
+// lint:allow-file(wall-clock) run_begin/run_end stamp the wall window the
+// events/sec rate normalises against; wall data feeds the perf report's
+// "wall" subsection and RunMeta, never any digest.
+
+#include "obs/counters.hpp"
+#include "obs/profile.hpp"
+
+namespace paraleon::obs {
+
+namespace {
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string layer_of(const std::string& tag) {
+  const std::size_t dot = tag.find('.');
+  return dot == std::string::npos ? tag : tag.substr(0, dot);
+}
+
+std::string histogram_json(const std::uint64_t* buckets) {
+  int last = -1;
+  for (int i = 0; i < PerfMonitor::kBuckets; ++i) {
+    if (buckets[i] != 0) last = i;
+  }
+  std::string out = "[";
+  for (int i = 0; i <= last; ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(buckets[i]);
+  }
+  return out + "]";
+}
+
+std::string counts_json(const std::map<std::string, std::uint64_t>& m) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, count] : m) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(count);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+void PerfMonitor::run_begin() {
+  if (!enabled_) return;
+  run_start_ns_ = wall_now_ns();
+}
+
+void PerfMonitor::run_end() {
+  if (run_start_ns_ < 0) return;
+  wall_ns_ += wall_now_ns() - run_start_ns_;
+  run_start_ns_ = -1;
+}
+
+std::map<std::string, std::uint64_t> PerfMonitor::tags_by_name() const {
+  std::map<std::string, std::uint64_t> out;
+  // lint:allow(unordered-iteration) pointer-keyed for hot-path speed;
+  // merged into a sorted map here before any serialization.
+  for (const auto& [tag, count] : tag_counts_) {
+    out[tag == nullptr || *tag == '\0' ? "(untagged)" : tag] += count;
+  }
+  return out;
+}
+
+std::map<std::string, std::uint64_t> PerfMonitor::tags_by_layer() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [tag, count] : tags_by_name()) {
+    out[layer_of(tag)] += count;
+  }
+  return out;
+}
+
+void PerfMonitor::reset() {
+  events_executed_ = 0;
+  sched_calls_ = 0;
+  max_queue_depth_ = 0;
+  closure_bytes_ = 0;
+  closure_heap_allocs_ = 0;
+  packet_enqueues_ = 0;
+  packet_bytes_ = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    depth_log2_[i] = 0;
+    horizon_log2_[i] = 0;
+  }
+  tag_counts_.clear();
+  wall_ns_ = 0;
+  run_start_ns_ = -1;
+}
+
+std::string perf_report_json(const PerfMonitor& perf,
+                             const LoopProfiler& profiler) {
+  std::string out = "{\"schema\": \"paraleon.perf.v1\", \"enabled\": ";
+  out += perf.enabled() ? "true" : "false";
+
+  out += ", \"events\": {\"executed\": ";
+  out += std::to_string(perf.events_executed());
+  out += ", \"scheduled\": " + std::to_string(perf.events_scheduled());
+  out += ", \"max_queue_depth\": " + std::to_string(perf.max_queue_depth());
+  out += ", \"by_tag\": " + counts_json(perf.tags_by_name());
+  out += ", \"by_layer\": " + counts_json(perf.tags_by_layer());
+  out += "}";
+
+  out += ", \"queue_depth_log2\": " + histogram_json(perf.depth_histogram());
+  out += ", \"schedule_horizon_log2_ns\": " +
+         histogram_json(perf.horizon_histogram());
+
+  out += ", \"alloc\": {\"closure_bytes\": ";
+  out += std::to_string(perf.closure_bytes());
+  out += ", \"closure_heap_allocs\": " +
+         std::to_string(perf.closure_heap_allocs());
+  out += ", \"packet_enqueues\": " + std::to_string(perf.packet_enqueues());
+  out += ", \"packet_bytes\": " + std::to_string(perf.packet_bytes());
+  out += "}";
+
+  // Wall-clock subsection: run-window totals, plus the LoopProfiler's
+  // per-layer wall attribution when callback timing was also enabled.
+  // Everything below this point is nondeterministic by design.
+  out += ", \"wall\": {\"seconds\": " + format_value(perf.wall_seconds());
+  out += ", \"events_per_sec\": " + format_value(perf.events_per_sec());
+  std::map<std::string, std::uint64_t> layer_ns;
+  if (profiler.events() > 0) {
+    for (const auto& [tag, stats] : profiler.by_tag()) {
+      layer_ns[layer_of(tag)] +=
+          static_cast<std::uint64_t>(stats.total_ns);
+    }
+  }
+  out += ", \"profiled_layer_ns\": " + counts_json(layer_ns);
+  out += "}}";
+  return out;
+}
+
+}  // namespace paraleon::obs

@@ -17,6 +17,7 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   // recorder implies attribution: its bundles carry attribution.json.
   sim_.obs().trace().configure(cfg_.obs.trace);
   sim_.obs().profiler().set_enabled(cfg_.obs.profile_loop);
+  sim_.obs().perf().set_enabled(cfg_.obs.perf_counters);
   sim_.obs().attribution().set_enabled(cfg_.obs.attribution ||
                                        cfg_.obs.flight.armed);
   flight_trigger_count_ = sim_.obs().registry().counter("flight.triggers");
@@ -226,7 +227,8 @@ void Experiment::wire_scheme() {
       acc_agents_.back()->start();
     };
     int idx = 0;
-    for (int t = 0; t < topo_->tor_count(); ++t) make_agent(topo_->tor(t), idx++);
+    for (int t = 0; t < topo_->tor_count(); ++t)
+      make_agent(topo_->tor(t), idx++);
     for (int l = 0; l < topo_->leaf_count(); ++l)
       make_agent(topo_->leaf(l), idx++);
     return;
@@ -464,7 +466,8 @@ dcqcn::DcqcnParams Experiment::learned_params() const {
 
 std::vector<int> Experiment::all_hosts() const {
   std::vector<int> out(static_cast<std::size_t>(topo_->host_count()));
-  for (int i = 0; i < topo_->host_count(); ++i) out[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < topo_->host_count(); ++i)
+    out[static_cast<std::size_t>(i)] = i;
   return out;
 }
 
@@ -562,6 +565,12 @@ RunMeta run_meta(const Experiment& exp) {
     m.wall_seconds = prof.wall_seconds();
     m.events_per_sec = prof.events_per_sec();
     m.profile_summary = prof.summary();
+  } else {
+    // The PerfMonitor's run-window wall totals are the cheap fallback
+    // when per-callback profiling was off (both stay 0 with perf off).
+    const obs::PerfMonitor& perf = exp.simulator().obs().perf();
+    m.wall_seconds = perf.wall_seconds();
+    m.events_per_sec = perf.events_per_sec();
   }
   return m;
 }
@@ -585,6 +594,11 @@ std::string obs_report_json(const Experiment& exp) {
   }
   out += "], \"fct\": ";
   out += fct_report_json(exp.fct());
+  // Perf section (paraleon.perf.v1): a constant all-zero stub when the
+  // monitor is off, so byte-identical obs reports stay identical; only
+  // its "wall" subsection is nondeterministic when on.
+  out += ", \"perf\": ";
+  out += obs::perf_report_json(o.perf(), o.profiler());
   out += "}";
   return out;
 }

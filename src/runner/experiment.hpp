@@ -218,7 +218,8 @@ std::uint64_t run_digest(Experiment& exp);
 struct RunMeta {
   std::uint64_t events_executed = 0;
   double sim_seconds = 0.0;
-  /// Wall-clock totals; 0 unless config().obs.profile_loop was set.
+  /// Wall-clock totals; 0 unless config().obs.profile_loop or
+  /// config().obs.perf_counters was set.
   double wall_seconds = 0.0;
   double events_per_sec = 0.0;
   /// Human-readable per-event-type latency histogram ("" when unprofiled).

@@ -80,7 +80,7 @@ std::string write_flight_bundle(Experiment& exp, const std::string& reason,
   std::vector<std::string> files = {"config.json",   "replay.cfg",
                                     "counters.json", "trace.json",
                                     "ports.json",    "episodes.json",
-                                    "attribution.json"};
+                                    "attribution.json", "perf.json"};
   if (failure != nullptr) files.push_back("failure.json");
 
   bool ok = true;
@@ -91,7 +91,8 @@ std::string write_flight_bundle(Experiment& exp, const std::string& reason,
       << ",\n\"scheme\": \"" << scheme_name(cfg.scheme)
       << "\",\n\"events_executed\": " << sim.events_executed()
       << ",\n\"queue_depth\": " << sim.queue_depth()
-      << ",\n\"next_event_ns\": " << (next_event == kTimeNever ? -1 : next_event)
+      << ",\n\"next_event_ns\": "
+      << (next_event == kTimeNever ? -1 : next_event)
       << ",\n\"replay_until_ns\": " << replay_until << ",\n\"files\": "
       << json_list(files) << "\n}";
     ok &= obs::BundleWriter::write_file(dir, "manifest.json", m.str());
@@ -179,6 +180,9 @@ std::string write_flight_bundle(Experiment& exp, const std::string& reason,
   }
   ok &= obs::BundleWriter::write_file(dir, "attribution.json",
                                       attribution_json(exp));
+  ok &= obs::BundleWriter::write_file(
+      dir, "perf.json",
+      obs::perf_report_json(sim.obs().perf(), sim.obs().profiler()));
   if (failure != nullptr) {
     ok &= obs::BundleWriter::write_file(dir, "failure.json",
                                         check::failure_to_json(*failure));

@@ -16,6 +16,9 @@ NetDevice::NetDevice(Simulator* sim, Node* peer, int peer_port, Rate rate,
       prop_delay_(propagation_delay) {}
 
 void NetDevice::enqueue(const Packet& pkt, int in_port) {
+  // Each enqueue value-copies the Packet into the deque — the per-hop
+  // heap traffic the PerfMonitor's alloc counters quantify.
+  sim_->obs().perf().on_packet_enqueue(pkt.size_bytes);
   if (pkt.is_control()) {
     ctrl_q_.push_back({pkt, in_port});
     ctrl_bytes_ += pkt.size_bytes;

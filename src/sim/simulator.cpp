@@ -19,32 +19,43 @@ Simulator::Simulator() : obs_(std::make_unique<obs::Observability>()) {
   reg.gauge("sim.now_ms", [this] { return to_ms(now_); });
 }
 
-void Simulator::schedule_at(Time t, Callback cb, const char* tag) {
+void Simulator::schedule_impl(Time t, Callback cb, const char* tag) {
   PARALEON_CHECK(t >= now_, "cannot schedule into the past: t=", t,
                  " now=", now_);
   const std::uint64_t seq = next_seq_++;
-  if (tag != nullptr && obs_->profiler().enabled()) {
+  if (tag != nullptr &&
+      (obs_->profiler().enabled() || obs_->perf().enabled())) {
     event_tags_.emplace(seq, tag);
   }
   queue_.push(Event{t, seq, std::move(cb)});
 }
 
 void Simulator::run_until(Time t) {
-  // Profiling is toggled between runs, never inside one — hoist the test.
+  // Profiling and perf counting are toggled between runs, never inside
+  // one — hoist both tests out of the loop.
   const bool profiled = obs_->profiler().enabled();
+  obs::PerfMonitor& perf = obs_->perf();
+  const bool counted = perf.enabled();
+  if (counted) perf.run_begin();
   while (!queue_.empty() && queue_.top().t <= t) {
     // Move the callback out before popping so it may schedule new events.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.t;
     ++executed_;
-    if (profiled) {
-      const char* tag = nullptr;
+    const char* tag = nullptr;
+    if (profiled || counted) {
       const auto it = event_tags_.find(ev.seq);
       if (it != event_tags_.end()) {
         tag = it->second;
         event_tags_.erase(it);
       }
+    }
+    if (counted) {
+      perf.on_execute(queue_.size());
+      perf.count_tag(tag);
+    }
+    if (profiled) {
       const auto t0 = std::chrono::steady_clock::now();
       ev.cb();
       const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -56,6 +67,7 @@ void Simulator::run_until(Time t) {
     }
     if (post_event_) post_event_(now_);
   }
+  if (counted) perf.run_end();
   if (t != kTimeNever && now_ < t) now_ = t;
 }
 

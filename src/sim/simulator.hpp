@@ -14,7 +14,9 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -33,12 +35,24 @@ class Simulator {
   std::size_t queue_depth() const { return queue_.size(); }
 
   /// Schedules `cb` at absolute time `t` (>= now). `tag` must be a string
-  /// literal (or nullptr); it labels the event in the loop profiler.
-  void schedule_at(Time t, Callback cb, const char* tag = nullptr);
+  /// literal (or nullptr); it labels the event in the loop profiler and
+  /// the PerfMonitor's per-event-type counts. Templated so the
+  /// PerfMonitor can observe the concrete closure size before it is
+  /// type-erased into Callback (sizeof the decayed functor is exactly
+  /// what std::function's small-buffer test sees).
+  template <typename F>
+  void schedule_at(Time t, F&& cb, const char* tag = nullptr) {
+    obs::PerfMonitor& perf = obs_->perf();
+    if (perf.enabled()) {
+      perf.on_schedule(queue_.size(), t - now_, sizeof(std::decay_t<F>));
+    }
+    schedule_impl(t, Callback(std::forward<F>(cb)), tag);
+  }
 
   /// Schedules `cb` `delta` nanoseconds from now.
-  void schedule_in(Time delta, Callback cb, const char* tag = nullptr) {
-    schedule_at(now_ + delta, std::move(cb), tag);
+  template <typename F>
+  void schedule_in(Time delta, F&& cb, const char* tag = nullptr) {
+    schedule_at(now_ + delta, std::forward<F>(cb), tag);
   }
 
   /// Runs events until the queue is empty or the clock would pass `t`;
@@ -71,10 +85,15 @@ class Simulator {
   }
 
  private:
+  /// The type-erased tail of schedule_at: range check, optional side-map
+  /// tag registration, heap push.
+  void schedule_impl(Time t, Callback cb, const char* tag);
+
   // Tags deliberately do NOT live in Event: the heap is the engine's hot
   // path and every byte of Event is moved O(log n) times per schedule, so
   // an unprofiled run must not carry profiling payload. Tags go into a
-  // side map keyed by seq, populated only while the profiler is enabled.
+  // side map keyed by seq, populated only while the profiler or the
+  // perf monitor is enabled.
   struct Event {
     Time t;
     std::uint64_t seq;

@@ -134,6 +134,17 @@ TEST(Determinism, SameSeedByteIdenticalObsDumps) {
   EXPECT_NE(a.counters_json.find("cnp.sent"), std::string::npos);
 }
 
+TEST(Determinism, PerfCountersDoNotPerturbDigest) {
+  // The PerfMonitor observes scheduling, never schedules: enabling it
+  // must leave run_digest byte-identical (its counters live outside the
+  // registry and its wall window is never digested).
+  ExperimentConfig on_cfg = base_config(Scheme::kParaleon, 42);
+  on_cfg.obs.perf_counters = true;
+  const auto off = digest_of_run(base_config(Scheme::kParaleon, 42), 7);
+  const auto on = digest_of_run(std::move(on_cfg), 7);
+  EXPECT_EQ(off, on) << "perf telemetry perturbed the run digest";
+}
+
 TEST(Determinism, TracingIsObservationOnly) {
   // Enabling every trace category plus counter scraping must not perturb
   // the simulated run: the network-visible telemetry (flow completions,

@@ -5,17 +5,22 @@ Usage:
   validate_obs_json.py OBS_JSON [TRACE_JSON]
   validate_obs_json.py --bundle BUNDLE_DIR
   validate_obs_json.py --trace-only TRACE_JSON
+  validate_obs_json.py --bench BENCH_JSON
 
 OBS_JSON is the per-run obs report (runner::obs_report_json): the full
-counter registry, trace-recorder totals, tuning-episode timelines and the
-FCT slowdown summary. TRACE_JSON is the Chrome trace-event file; when
-given, it is checked for Perfetto-loadable shape.
+counter registry, trace-recorder totals, tuning-episode timelines, the
+FCT slowdown summary and the event-loop perf section (paraleon.perf.v1).
+TRACE_JSON is the Chrome trace-event file; when given, it is checked for
+Perfetto-loadable shape.
 
 --bundle validates a flight-recorder post-mortem directory (manifest,
-config, replay.cfg, counters, trace, ports, episodes, attribution, and
-failure.json when the reason is check_failure), including cross-file
+config, replay.cfg, counters, trace, ports, episodes, attribution, perf,
+and failure.json when the reason is check_failure), including cross-file
 consistency of seed and replay horizon. --trace-only checks just a trace
 file (e.g. the replay.trace.json a --replay-flight run writes back).
+--bench checks a paraleon.bench.v1 document: the --perf-out artifact the
+bench binaries emit and the committed BENCH_*.json baselines that
+tools/bench_trend.py compares them against.
 
 Exits nonzero with a message on the first violation, so the CI smoke job
 fails loudly when an emitter drifts from the documented schema.
@@ -155,9 +160,106 @@ def check_fct(fct, where):
             f"{fct['slowdown']['count']}")
 
 
+def check_perf(perf, where):
+    """Validates a paraleon.perf.v1 section (obs report or bundle file)."""
+    require(isinstance(perf, dict), f"{where}: perf section must be a dict")
+    require(perf.get("schema") == "paraleon.perf.v1",
+            f"{where}: bad perf schema {perf.get('schema')!r}")
+    require(isinstance(perf.get("enabled"), bool),
+            f"{where}: perf.enabled must be a bool")
+    ev = perf.get("events")
+    require(isinstance(ev, dict), f"{where}: perf.events must be a dict")
+    for key in ("executed", "scheduled", "max_queue_depth"):
+        require(isinstance(ev.get(key), int) and ev[key] >= 0,
+                f"{where}: perf.events.{key} must be a nonnegative int")
+    for key in ("by_tag", "by_layer"):
+        require(isinstance(ev.get(key), dict),
+                f"{where}: perf.events.{key} must be a dict")
+        for tag, count in ev[key].items():
+            require(isinstance(count, int) and count >= 0,
+                    f"{where}: perf count {tag} must be a nonnegative int")
+    for key in ("queue_depth_log2", "schedule_horizon_log2_ns"):
+        hist = perf.get(key)
+        require(isinstance(hist, list),
+                f"{where}: perf.{key} must be a list")
+        for i, n in enumerate(hist):
+            require(isinstance(n, int) and n >= 0,
+                    f"{where}: perf.{key}[{i}] must be a nonnegative int")
+    # Every executed event lands in exactly one depth bucket, every
+    # scheduled one in exactly one horizon bucket.
+    require(sum(perf["queue_depth_log2"]) == ev["executed"],
+            f"{where}: queue_depth_log2 does not sum to events.executed")
+    require(sum(perf["schedule_horizon_log2_ns"]) == ev["scheduled"],
+            f"{where}: schedule_horizon_log2_ns does not sum to "
+            f"events.scheduled")
+    require(sum(ev["by_tag"].values()) <= ev["executed"],
+            f"{where}: tagged event counts exceed events.executed")
+    alloc = perf.get("alloc")
+    require(isinstance(alloc, dict), f"{where}: perf.alloc must be a dict")
+    for key in ("closure_bytes", "closure_heap_allocs", "packet_enqueues",
+                "packet_bytes"):
+        require(isinstance(alloc.get(key), int) and alloc[key] >= 0,
+                f"{where}: perf.alloc.{key} must be a nonnegative int")
+    wall = perf.get("wall")
+    require(isinstance(wall, dict), f"{where}: perf.wall must be a dict")
+    for key in ("seconds", "events_per_sec"):
+        v = wall.get(key)
+        require(isinstance(v, (int, float)) and v >= 0,
+                f"{where}: perf.wall.{key} must be nonnegative")
+    require(isinstance(wall.get("profiled_layer_ns"), dict),
+            f"{where}: perf.wall.profiled_layer_ns must be a dict")
+    if not perf["enabled"]:
+        require(ev["executed"] == 0 and ev["scheduled"] == 0,
+                f"{where}: disabled perf section must be the zero stub")
+    return ev["executed"]
+
+
+BENCH_DIRECTIONS = {"two_sided", "higher_better", "lower_better"}
+
+
+def check_bench(path):
+    """Validates a paraleon.bench.v1 document (artifact or baseline)."""
+    doc = load(path)
+    require(doc.get("schema") == "paraleon.bench.v1",
+            f"{path}: bad schema {doc.get('schema')!r}")
+    require(isinstance(doc.get("bench"), str) and doc["bench"],
+            f"{path}: 'bench' must be a nonempty string")
+    fp = doc.get("fingerprint")
+    require(isinstance(fp, dict), f"{path}: missing 'fingerprint'")
+    for key in ("compiler", "build_type", "hardware_threads"):
+        require(key in fp, f"{path}: fingerprint missing '{key}'")
+    require(isinstance(fp["hardware_threads"], int)
+            and fp["hardware_threads"] > 0,
+            f"{path}: fingerprint.hardware_threads must be a positive int")
+    metrics = doc.get("metrics")
+    require(isinstance(metrics, dict) and metrics,
+            f"{path}: 'metrics' must be a nonempty dict")
+    for name, m in metrics.items():
+        require(isinstance(m, dict) and "value" in m,
+                f"{path}: metric {name} must be a dict with 'value'")
+        require(isinstance(m["value"], (int, float))
+                and not isinstance(m["value"], bool),
+                f"{path}: metric {name} value must be numeric")
+        if "unit" in m:
+            require(isinstance(m["unit"], str),
+                    f"{path}: metric {name} unit must be a string")
+        # Baseline gate fields are optional but typed when present.
+        if "direction" in m:
+            require(m["direction"] in BENCH_DIRECTIONS,
+                    f"{path}: metric {name} direction {m['direction']!r}")
+        for tol in ("rel_tol", "abs_tol"):
+            if tol in m:
+                require(isinstance(m[tol], (int, float)) and m[tol] >= 0,
+                        f"{path}: metric {name} {tol} must be nonnegative")
+        if "gate" in m:
+            require(isinstance(m["gate"], bool),
+                    f"{path}: metric {name} gate must be a bool")
+    return doc["bench"], len(metrics)
+
+
 def check_obs(path):
     doc = load(path)
-    for key in ("registry", "trace", "episodes", "fct"):
+    for key in ("registry", "trace", "episodes", "fct", "perf"):
         require(key in doc, f"{path}: missing top-level key '{key}'")
 
     counters, gauges = check_registry(doc["registry"], path)
@@ -175,6 +277,7 @@ def check_obs(path):
 
     n_trials = check_episodes(doc["episodes"], path)
     check_fct(doc["fct"], path)
+    check_perf(doc["perf"], path)
     return len(counters) + len(gauges), tr["total"], n_trials
 
 
@@ -341,6 +444,7 @@ def check_bundle(bundle_dir):
                               "episodes.json")
     n_spans, n_victims = check_attribution(
         os.path.join(bundle_dir, "attribution.json"))
+    check_perf(load(os.path.join(bundle_dir, "perf.json")), "perf.json")
 
     if reason == "check_failure":
         failure = load(os.path.join(bundle_dir, "failure.json"))
@@ -365,6 +469,12 @@ def main():
         require(len(sys.argv) == 3, "--trace-only takes exactly one file")
         n_events = check_trace(sys.argv[2])
         print(f"validate_obs_json: trace file OK: {n_events} events")
+        return
+    if sys.argv[1] == "--bench":
+        require(len(sys.argv) == 3, "--bench takes exactly one file")
+        bench, n_metrics = check_bench(sys.argv[2])
+        print(f"validate_obs_json: bench file OK: {bench}, "
+              f"{n_metrics} metrics")
         return
     n_instruments, n_trace, n_trials = check_obs(sys.argv[1])
     msg = (f"obs report OK: {n_instruments} instruments, "
