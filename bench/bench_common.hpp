@@ -104,6 +104,11 @@ inline std::string scaling_note(const ExperimentConfig& cfg,
 /// `--perf-out FILE` additionally writes the bench's metrics as one
 /// `paraleon.bench.v1` JSON document — the shape the committed
 /// BENCH_*.json baselines use and tools/bench_trend.py compares.
+///
+/// Fleet-observatory flag: `--fleet-out FILE` makes a sweep-capable bench
+/// write the sweep's `paraleon.fleet.v1` report (per-seed digest table,
+/// cross-run aggregates, worker utilization) to FILE plus the merged
+/// Perfetto timeline to FILE with a `.timeline.json` suffix.
 struct ObsCli {
   bool trace = false;
   bool tiny = false;
@@ -116,7 +121,20 @@ struct ObsCli {
   int jobs = 1;          // parallel_map worker count (0 = hardware)
   int sweep = 0;         // 0 = no sweep mode requested
   std::string sweep_out; // empty = print only, no JSON artifact
+  std::string fleet_out; // empty = no fleet report artifact
 };
+
+/// The merged-timeline path derived from a `--fleet-out` path: strip one
+/// trailing ".json" and append ".timeline.json".
+inline std::string fleet_timeline_path(const std::string& fleet_out) {
+  const std::string suffix = ".json";
+  std::string base = fleet_out;
+  if (base.size() > suffix.size() &&
+      base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    base.resize(base.size() - suffix.size());
+  }
+  return base + ".timeline.json";
+}
 
 inline ObsCli parse_obs_cli(int argc, char** argv) {
   ObsCli cli;
@@ -145,6 +163,8 @@ inline ObsCli parse_obs_cli(int argc, char** argv) {
       cli.sweep = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--sweep-out") == 0 && i + 1 < argc) {
       cli.sweep_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--fleet-out") == 0 && i + 1 < argc) {
+      cli.fleet_out = argv[++i];
     }
   }
   return cli;
@@ -159,7 +179,8 @@ inline int strip_obs_cli(int argc, char** argv) {
            std::strcmp(a, "--replay-flight") == 0 ||
            std::strcmp(a, "--perf-out") == 0 ||
            std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "--sweep") == 0 ||
-           std::strcmp(a, "--sweep-out") == 0;
+           std::strcmp(a, "--sweep-out") == 0 ||
+           std::strcmp(a, "--fleet-out") == 0;
   };
   const auto is_flag = [](const char* a) {
     return std::strcmp(a, "--trace") == 0 || std::strcmp(a, "--tiny") == 0 ||

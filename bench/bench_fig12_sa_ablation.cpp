@@ -68,7 +68,7 @@ void compare(const char* title, bool llm) {
 /// step evaluated in K concurrent shadow experiments. K=1 is the serial
 /// chain (byte-identical to step-driven SA — the determinism test proves
 /// it); K=4 shows the wall-clock win of speculative parallel evaluation.
-void shadow_fleet_section() {
+void shadow_fleet_section(TrendReport* trend) {
   std::printf("\n-- shadow-fleet SA: K candidates per temperature step --\n");
   exec::ShadowWindow w;
   w.base = g_cli.tiny ? small_fabric(Scheme::kCustomStatic, 53)
@@ -85,8 +85,9 @@ void shadow_fleet_section() {
   sa.total_iter_num = g_cli.tiny ? 2 : 3;
   sa.cooling_rate = 0.5;
 
-  std::printf("%-4s %-7s %-7s %-12s %-8s\n", "K", "evals", "batches",
-              "best_util", "wall_s");
+  std::printf("%-4s %-7s %-7s %-12s %-8s %-9s %-9s %-9s %-7s %-12s\n", "K",
+              "evals", "batches", "best_util", "wall_s", "proposed",
+              "evaluated", "accepted", "wasted", "wasted_evts");
   for (const int k : {1, 4}) {
     exec::ShadowFleetConfig fcfg;
     fcfg.sa = sa;
@@ -95,12 +96,27 @@ void shadow_fleet_section() {
     fcfg.jobs = g_cli.jobs == 1 ? 0 : g_cli.jobs;
     fcfg.seed = 77;
     const exec::ShadowFleetResult res = exec::ShadowFleet(fcfg).tune(w, start);
-    std::printf("%-4d %-7d %-7d %-12.4f %-8.2f\n", k, res.evaluations,
-                res.batches, res.best_utility, res.wall_seconds);
+    const obs::SpeculationStats& sp = res.speculation;
+    std::printf("%-4d %-7d %-7d %-12.4f %-8.2f %-9lld %-9lld %-9lld %-7lld "
+                "%-12llu\n",
+                k, res.evaluations, res.batches, res.best_utility,
+                res.wall_seconds, static_cast<long long>(sp.proposed),
+                static_cast<long long>(sp.evaluated),
+                static_cast<long long>(sp.accepted),
+                static_cast<long long>(sp.wasted),
+                static_cast<unsigned long long>(sp.events_wasted));
+    if (trend != nullptr) {
+      const std::string prefix = "shadow_k" + std::to_string(k) + "_";
+      trend->add(prefix + "wasted_evals", static_cast<double>(sp.wasted),
+                 "evals");
+      trend->add(prefix + "wasted_events",
+                 static_cast<double>(sp.events_wasted), "events");
+    }
   }
   std::printf(
-      "K=1 reproduces the serial tuner exactly; K=4 spends more total\n"
-      "evaluations (speculative siblings) but fewer wall-clock batches.\n");
+      "K=1 reproduces the serial tuner exactly (nothing wasted); K=4\n"
+      "spends speculative sibling evaluations — the wasted columns price\n"
+      "that speculation in discarded runs and simulated events.\n");
 }
 
 }  // namespace
@@ -112,18 +128,18 @@ int main(int argc, char** argv) {
                scaling_note(paper_fabric(Scheme::kParaleon, 53),
                             "one forced tuning episode; 10 iters/temp, "
                             "x0.85 cooling (Table III shape)"));
+  TrendReport trend("fig12_sa_ablation");
   if (!g_cli.tiny) {
     compare("(a) FB_Hadoop @30%", /*llm=*/false);
     compare("(b) LLM training alltoall", /*llm=*/true);
   }
-  shadow_fleet_section();
+  shadow_fleet_section(&trend);
   std::printf(
       "\nPaper Fig. 12 shape: PARALEON reaches a higher utility plateau\n"
       "within dozens of MIs; naive_SA stays lower/slower. The FB_Hadoop\n"
       "half reproduces strongly; the alltoall half is close to a tie at\n"
       "this fabric scale (its utility landscape is flat — see\n"
       "EXPERIMENTS.md).\n");
-  TrendReport trend("fig12_sa_ablation");
   trend.add("wall_seconds", wall.seconds(), "s");
   write_trend(g_cli, trend);
   return 0;

@@ -120,7 +120,11 @@ int run_replay(const std::string& bundle) {
 /// once serial (jobs=1), once on the thread pool (--jobs, <=1 meaning one
 /// worker per hardware thread) — verify the per-seed run_digests are
 /// byte-identical, and report both wall-clocks. With --sweep-out FILE the
-/// comparison lands as a JSON artifact (the CI bench job archives it).
+/// comparison lands as a JSON artifact (the CI bench job archives it);
+/// with --fleet-out FILE the parallel leg is additionally scraped into a
+/// paraleon.fleet.v1 report plus the merged Perfetto timeline, and with
+/// --perf-out FILE the sweep's wall economics land as a paraleon.bench.v1
+/// document (the ungated sweep_* rows of BENCH_fig8.json).
 /// Exit nonzero on any digest mismatch: the determinism contract of
 /// docs/PARALLELISM.md, checked on the real bench workload.
 int run_sweep(int n) {
@@ -136,9 +140,14 @@ int run_sweep(int n) {
   const auto metric = [](Experiment& exp) {
     return exp.throughput_series().mean_in(0, exp.config().duration);
   };
-  const auto timed = [&](int jobs) {
+  const bool want_fleet = !g_cli.fleet_out.empty();
+  const bool instrument = want_fleet || !g_cli.perf_out.empty();
+  obs::PoolTelemetry pool;
+  const auto timed = [&](int jobs, bool observe) {
     exec::ParallelSweepConfig scfg;
     scfg.jobs = jobs;
+    scfg.collect_obs = observe && want_fleet;
+    scfg.telemetry = observe ? &pool : nullptr;
     const auto t0 = std::chrono::steady_clock::now();
     exec::SweepOutcome out = exec::sweep_experiments(seeds, make, metric, scfg);
     const std::chrono::duration<double> dt =
@@ -149,8 +158,8 @@ int run_sweep(int n) {
   const int par_jobs = g_cli.jobs <= 1 ? 0 : g_cli.jobs;
   std::printf("# sweep: %d seeds, serial then jobs=%d (0 = hardware)\n", n,
               par_jobs);
-  const auto [serial, serial_s] = timed(1);
-  const auto [parallel, parallel_s] = timed(par_jobs);
+  const auto [serial, serial_s] = timed(1, false);
+  const auto [parallel, parallel_s] = timed(par_jobs, instrument);
 
   bool match = serial.runs.size() == parallel.runs.size();
   for (std::size_t i = 0; match && i < serial.runs.size(); ++i) {
@@ -181,6 +190,46 @@ int run_sweep(int n) {
     f << "\n  ]\n}\n";
     std::printf("# sweep: wrote %s\n", g_cli.sweep_out.c_str());
   }
+
+  // Worker utilization of the instrumented parallel leg: busy time over
+  // workers x wall window (100% = every worker busy for the whole sweep).
+  double busy_s = 0.0;
+  double util_pct = 0.0;
+  if (instrument) {
+    for (const auto& w : pool.worker_stats()) {
+      busy_s += static_cast<double>(w.busy_ns) / 1e9;
+    }
+    const double denom =
+        static_cast<double>(pool.workers()) * pool.wall_seconds();
+    util_pct = denom > 0.0 ? busy_s / denom * 100.0 : 0.0;
+    std::printf("# sweep: %d workers, %.1f%% busy, %llu jobs\n",
+                pool.workers(), util_pct,
+                static_cast<unsigned long long>(pool.jobs_completed()));
+  }
+
+  if (want_fleet) {
+    runner::FleetReport fleet("fig8_sweep");
+    fleet.set_sweep_shape(seeds.size(), par_jobs,
+                          exec::ThreadPool::hardware_workers());
+    for (const auto& r : parallel.runs) {
+      fleet.add_run(r.seed, r.digest, r.value, r.scrape);
+    }
+    fleet.set_pool(&pool);
+    fleet.write(g_cli.fleet_out);
+    fleet.write_timeline(fleet_timeline_path(g_cli.fleet_out));
+    std::printf("# fleet: wrote %s and %s\n", g_cli.fleet_out.c_str(),
+                fleet_timeline_path(g_cli.fleet_out).c_str());
+  }
+
+  if (!g_cli.perf_out.empty()) {
+    TrendReport trend("fig8_influx");
+    trend.add("sweep_serial_seconds", serial_s, "s");
+    trend.add("sweep_parallel_seconds", parallel_s, "s");
+    trend.add("sweep_speedup", speedup, "x");
+    trend.add("sweep_worker_utilization_pct", util_pct, "%");
+    write_trend(g_cli, trend);
+  }
+
   if (!match) {
     std::fprintf(stderr,
                  "sweep: parallel digests diverged from serial — the "

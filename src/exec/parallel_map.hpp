@@ -25,8 +25,11 @@ inline int effective_jobs(int jobs, std::size_t items) {
   return n < 1 ? 1 : n;
 }
 
+/// `telemetry`, when non-null, observes the pool this call spins up (the
+/// serial degenerate path runs no pool and leaves it untouched).
 template <typename In, typename F>
-auto parallel_map(const std::vector<In>& items, F&& fn, int jobs)
+auto parallel_map(const std::vector<In>& items, F&& fn, int jobs,
+                  obs::PoolTelemetry* telemetry = nullptr)
     -> std::vector<decltype(fn(items.front()))> {
   using Out = decltype(fn(items.front()));
   const int n = effective_jobs(jobs, items.size());
@@ -36,7 +39,7 @@ auto parallel_map(const std::vector<In>& items, F&& fn, int jobs)
     for (const auto& item : items) out.push_back(fn(item));
     return out;
   }
-  ThreadPool pool(n);
+  ThreadPool pool(n, telemetry);
   JobSet<Out> set(&pool);
   for (const auto& item : items) {
     set.submit([&fn, &item] { return fn(item); });

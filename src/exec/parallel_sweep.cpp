@@ -18,9 +18,10 @@ SweepOutcome sweep_experiments(const std::vector<std::uint64_t>& seeds,
         r.seed = seed;
         r.value = metric(*exp);
         if (cfg.capture_digests) r.digest = runner::run_digest(*exp);
+        if (cfg.collect_obs) r.scrape = runner::scrape_run(*exp);
         return r;
       },
-      cfg.jobs);
+      cfg.jobs, cfg.telemetry);
   std::vector<double> values;
   values.reserve(out.runs.size());
   for (const auto& r : out.runs) values.push_back(r.value);

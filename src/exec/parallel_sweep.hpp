@@ -13,8 +13,10 @@
 #include <memory>
 #include <vector>
 
+#include "obs/fleet.hpp"
 #include "runner/experiment.hpp"
 #include "runner/sweep.hpp"
+#include "runner/sweep_report.hpp"
 
 namespace paraleon::exec {
 
@@ -33,6 +35,9 @@ struct SweepJobResult {
   double value = 0.0;
   /// runner::run_digest of this seed's run (0 when capture was disabled).
   std::uint64_t digest = 0;
+  /// Per-run obs scrape for runner::FleetReport (empty unless
+  /// ParallelSweepConfig::collect_obs). Deterministic per seed.
+  runner::RunScrape scrape;
 };
 
 struct SweepOutcome {
@@ -56,6 +61,13 @@ struct ParallelSweepConfig {
   /// Hash every run with runner::run_digest (the serial-vs-parallel
   /// equivalence check). Costs one pass over the run's telemetry.
   bool capture_digests = true;
+  /// Scrape each finished run (runner::scrape_run) into the job result so
+  /// a FleetReport can aggregate the sweep. Costs one registry snapshot.
+  bool collect_obs = false;
+  /// When non-null, the sweep's worker pool reports into this telemetry
+  /// (per-worker utilization, queue waits, job spans). The serial jobs<=1
+  /// path runs no pool and leaves it untouched.
+  obs::PoolTelemetry* telemetry = nullptr;
 };
 
 /// Runs make(seed) -> run() -> metric() for every seed across the pool and

@@ -20,6 +20,7 @@
 #include "core/sa_tuner.hpp"
 #include "core/utility.hpp"
 #include "obs/episode_log.hpp"
+#include "obs/fleet.hpp"
 #include "runner/experiment.hpp"
 
 namespace paraleon::exec {
@@ -49,6 +50,9 @@ struct ShadowFleetConfig {
   /// the window since a recorded window has one traffic pattern.
   double elephant_share = 0.5;
   std::uint64_t seed = 1;
+  /// When non-null, every batch's evaluation pool reports into this fleet
+  /// telemetry (the per-batch pools attach sequentially to one object).
+  obs::PoolTelemetry* telemetry = nullptr;
 };
 
 struct ShadowFleetResult {
@@ -61,6 +65,12 @@ struct ShadowFleetResult {
   /// One "shadow" episode; trial times are evaluation indices, not
   /// simulated time. Deterministic: a pure function of window + config.
   obs::EpisodeLog episodes;
+  /// Speculation accounting: how much shadow work the batching proposed,
+  /// evaluated, accepted and wasted (candidates evaluated after the SA
+  /// schedule ended mid-batch, plus their simulated-event cost). A pure
+  /// function of window + config, like the episode log; with K == 1
+  /// nothing is ever wasted.
+  obs::SpeculationStats speculation;
   /// Wall-clock of the whole tune, reported next to the result like
   /// runner::RunMeta — never part of the episode log or any digest.
   double wall_seconds = 0.0;
@@ -76,11 +86,23 @@ class ShadowFleet {
  public:
   explicit ShadowFleet(ShadowFleetConfig cfg);
 
+  /// One shadow evaluation's outputs: the utility the Metropolis test
+  /// consumes plus the simulated-event cost of producing it (the unit the
+  /// speculation accounting charges wasted work in).
+  struct ShadowEval {
+    double utility = 0.0;
+    std::uint64_t events = 0;
+  };
+
   /// Replays `window` under one candidate setting and returns the mean
   /// utility on the tuner's 0-100 scale. Exposed for tests and for
   /// benches that want to score a single setting.
   static double evaluate(const ShadowWindow& window,
                          const dcqcn::DcqcnParams& candidate);
+
+  /// evaluate() plus the run's executed-event count.
+  static ShadowEval evaluate_run(const ShadowWindow& window,
+                                 const dcqcn::DcqcnParams& candidate);
 
   /// Runs one full SA episode from `start` and returns the best setting
   /// found, the episode timeline and the evaluation/wall-clock accounting.

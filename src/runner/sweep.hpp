@@ -49,11 +49,14 @@ inline SweepStats aggregate_sweep(const std::vector<double>& values) {
 }
 
 /// Evaluates `metric(seed)` for each seed across `jobs` workers and
-/// returns the per-seed values in seed order.
+/// returns the per-seed values in seed order. `telemetry`, when non-null,
+/// observes the worker pool (fleet observatory; untouched on the serial
+/// jobs <= 1 path).
 inline std::vector<double> sweep_values(
     const std::vector<std::uint64_t>& seeds,
-    const std::function<double(std::uint64_t)>& metric, int jobs = 1) {
-  return exec::parallel_map(seeds, metric, jobs);
+    const std::function<double(std::uint64_t)>& metric, int jobs = 1,
+    obs::PoolTelemetry* telemetry = nullptr) {
+  return exec::parallel_map(seeds, metric, jobs, telemetry);
 }
 
 /// Evaluates `metric(seed)` for each seed and aggregates. `jobs` fans the
@@ -61,8 +64,9 @@ inline std::vector<double> sweep_values(
 /// path and any other count produces identical values.
 inline SweepStats sweep_seeds(
     const std::vector<std::uint64_t>& seeds,
-    const std::function<double(std::uint64_t)>& metric, int jobs = 1) {
-  return aggregate_sweep(sweep_values(seeds, metric, jobs));
+    const std::function<double(std::uint64_t)>& metric, int jobs = 1,
+    obs::PoolTelemetry* telemetry = nullptr) {
+  return aggregate_sweep(sweep_values(seeds, metric, jobs, telemetry));
 }
 
 }  // namespace paraleon::runner

@@ -4,6 +4,7 @@
 Usage:
   bench_trend.py --baseline BENCH_x.json --current out/x.perf.json
                  [--update-baseline] [--require-fingerprint]
+                 [--allow-missing]
   bench_trend.py --self-test
 
 Both files are `paraleon.bench.v1` documents (the shape every bench binary
@@ -24,9 +25,15 @@ fields:
 
 A metric regresses when it moves in the "worse" direction (both directions
 for two_sided) beyond every given tolerance. Improvements never fail.
-Metrics present in the baseline but missing from the current run fail (a
-bench silently dropping a metric is itself a regression); new metrics in
-the current run are reported as candidates for the baseline.
+Gated metrics present in the baseline but missing from the current run
+fail (a bench silently dropping a metric is itself a regression); an
+ungated ("gate": false) missing metric only warns, so a baseline may carry
+tracking rows that not every invocation emits (e.g. the sweep_* rows only
+`--sweep` runs produce). --allow-missing downgrades ALL missing metrics to
+warnings — for partial-run comparisons like the CI bench-parallel job,
+which runs only the sweep mode and therefore emits only the sweep_* rows.
+New metrics in the current run are reported as candidates for the
+baseline.
 
 The fingerprint (compiler, build type, hardware threads — the same fields
 the bench scaling notes print) is compared and any mismatch is printed as
@@ -105,7 +112,8 @@ def regression(baseline_entry, current_value, name):
             f"({direction}, off by {worse:g} = {pct:.1f}%)")
 
 
-def compare(baseline, current, require_fingerprint=False, out=sys.stdout):
+def compare(baseline, current, require_fingerprint=False, out=sys.stdout,
+            allow_missing=False):
     """Returns (regressions, warnings) over the two documents."""
     regressions, warnings = [], []
     if baseline.get("bench") != current.get("bench"):
@@ -124,8 +132,12 @@ def compare(baseline, current, require_fingerprint=False, out=sys.stdout):
     for name in sorted(baseline["metrics"]):
         entry = baseline["metrics"][name]
         if name not in current["metrics"]:
-            regressions.append(f"{name}: present in baseline but missing "
-                               f"from the current run")
+            msg = (f"{name}: present in baseline but missing from the "
+                   f"current run")
+            if allow_missing or not entry.get("gate", True):
+                warnings.append(msg)
+            else:
+                regressions.append(msg)
             continue
         cur = metric_value(current["metrics"][name], f"current {name}")
         gated = entry.get("gate", True)
@@ -188,11 +200,12 @@ def self_test():
                                      "rel_tol": 0.5, "gate": False},
                 }}
 
-    def run(metrics, expect_regressions):
+    def run(metrics, expect_regressions, allow_missing=False):
         current = {"schema": SCHEMA, "bench": "selftest", "fingerprint": fp,
                    "metrics": {k: {"value": v} for k, v in metrics.items()}}
         sink = open(os.devnull, "w")
-        regs, _ = compare(baseline, current, out=sink)
+        regs, _ = compare(baseline, current, out=sink,
+                          allow_missing=allow_missing)
         sink.close()
         return len(regs) == expect_regressions, regs
 
@@ -212,16 +225,23 @@ def self_test():
         # Deterministic count drift is two-sided.
         ("events_drift", {"tput_gbps": 100.0, "overhead_pct": 1.0,
                           "events": 900, "wall_seconds": 2.0}, 1),
-        # A dropped metric is a regression in its own right.
+        # A dropped gated metric is a regression in its own right.
         ("missing_metric", {"tput_gbps": 100.0, "overhead_pct": 1.0,
-                            "events": 1000}, 1),
+                            "wall_seconds": 2.0}, 1),
+        # A missing ungated metric only warns (tracking rows that not
+        # every bench invocation emits, e.g. the sweep_* rows).
+        ("missing_ungated", {"tput_gbps": 100.0, "overhead_pct": 1.0,
+                             "events": 1000}, 0),
+        # --allow-missing downgrades even gated misses to warnings
+        # (partial-run comparisons against a full baseline).
+        ("missing_allowed", {"tput_gbps": 100.0}, 0, True),
         # Two failures are both reported.
         ("double", {"tput_gbps": 50.0, "overhead_pct": 9.0,
                     "events": 1000, "wall_seconds": 2.0}, 2),
     ]
     ok = True
-    for name, metrics, expected in cases:
-        passed, regs = run(metrics, expected)
+    for name, metrics, expected, *rest in cases:
+        passed, regs = run(metrics, expected, *rest)
         print(f"bench_trend self-test {name}: "
               f"{'ok' if passed else 'FAIL'} ({len(regs)} regressions, "
               f"expected {expected})")
@@ -237,6 +257,7 @@ def main():
     ap.add_argument("--current")
     ap.add_argument("--update-baseline", action="store_true")
     ap.add_argument("--require-fingerprint", action="store_true")
+    ap.add_argument("--allow-missing", action="store_true")
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
 
@@ -254,7 +275,8 @@ def main():
 
     print(f"bench_trend: {current.get('bench')} vs {args.baseline}")
     regressions, warnings = compare(baseline, current,
-                                    args.require_fingerprint)
+                                    args.require_fingerprint,
+                                    allow_missing=args.allow_missing)
     for w in warnings:
         print(f"bench_trend: warning: {w}")
     if regressions:
