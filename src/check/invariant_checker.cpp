@@ -117,6 +117,32 @@ void InvariantChecker::check_pause(PauseWatch& watch, bool paused_now,
                  " ns) — pause without matching resume");
 }
 
+void InvariantChecker::check_device(const sim::NetDevice& dev,
+                                    const char* what, std::uint32_t node,
+                                    int port) {
+  // Pause-kick sanity: a paused device without a pending kick never wakes
+  // (the transmitter would sleep forever), and the kick dedup must never
+  // schedule more kicks than XOFF frames arrived (the pre-fix storm
+  // scheduled one per frame).
+  if (dev.data_paused()) {
+    PARALEON_CHECK(dev.kick_armed(), what, " at node ", node, " port ",
+                   port, " is paused until ", dev.pause_until(),
+                   " ns with no wake-up kick armed");
+  }
+  PARALEON_CHECK(dev.kicks_scheduled() <= dev.pause_frames_received(),
+                 what, " at node ", node, " port ", port, " scheduled ",
+                 dev.kicks_scheduled(), " pause kicks for only ",
+                 dev.pause_frames_received(), " XOFF frames");
+  if (cfg_.level == CheckLevel::kFull) {
+    // A TTL expiry means a packet looped until its hop budget died —
+    // always a routing bug in a 2-tier CLOS.
+    PARALEON_CHECK(dev.ttl_drops() == 0, "TTL expired: flow ",
+                   dev.last_ttl_expired_flow(), " dropped at ", what,
+                   " of node ", node, " port ", port, " (",
+                   dev.ttl_drops(), " drop(s)) — routing loop");
+  }
+}
+
 void InvariantChecker::check_switch(WatchedSwitch& w, Time now) {
   const sim::SwitchNode& sw = *w.sw;
   const std::int64_t used = sw.buffer_used();
@@ -147,6 +173,7 @@ void InvariantChecker::check_switch(WatchedSwitch& w, Time now) {
                 sw.id(), p);
     check_pause(w.latched_pause[idx], sw.pfc_pause_latched(p), now,
                 "latched XOFF", sw.id(), p);
+    check_device(dev, "egress device", sw.id(), p);
     if (cfg_.level == CheckLevel::kFull) {
       const Time paused = dev.paused_time();
       PARALEON_CHECK(paused >= w.last_paused_time[idx], "switch ", sw.id(),
@@ -162,6 +189,7 @@ void InvariantChecker::check_host(WatchedHost& w, Time now) {
   const sim::NetDevice& uplink = host.uplink();
   check_pause(w.uplink_pause, uplink.data_paused(), now, "host uplink",
               host.id(), 0);
+  check_device(uplink, "host uplink", host.id(), 0);
   if (cfg_.level != CheckLevel::kFull) return;
 
   const Time paused = uplink.paused_time();

@@ -12,6 +12,11 @@
 //   * DCQCN RP rate bounds: every active QP's paced rate stays within
 //     [min_rate, link_rate];
 //   * monotone non-decreasing per-device paused time;
+//   * pause-kick sanity: a paused device always has its wake-up kick
+//     armed, and a device never schedules more kicks than the XOFF
+//     frames it received (the pre-dedup engine flooded one per frame);
+//   * (kFull) no TTL-expired drops: an expiry means a packet looped its
+//     entire hop budget away — a routing bug in a 2-tier CLOS;
 //   * sketch-vs-exact accounting: an Elastic Sketch wrapped through
 //     wrap_sketch() is shadowed by exact per-QP byte counters (cleared in
 //     lockstep with control-plane resets) and its heavy-part estimates must
@@ -123,6 +128,10 @@ class InvariantChecker {
   void check_host(WatchedHost& w, Time now);
   void check_pause(PauseWatch& watch, bool paused_now, Time now,
                    const char* what, std::uint32_t node, int port);
+  /// Per-NetDevice checks shared by switch ports and host uplinks:
+  /// pause-kick sanity at every scan level, TTL-expiry audit at kFull.
+  void check_device(const sim::NetDevice& dev, const char* what,
+                    std::uint32_t node, int port);
   void check_sketches();
 
   sim::Simulator* sim_;

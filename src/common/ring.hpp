@@ -1,0 +1,70 @@
+// Flat power-of-two ring buffer: the NetDevice's per-port queue storage.
+//
+// std::deque allocates its map and chunk nodes per queue and scatters
+// entries across chunks; Ring keeps the FIFO in one contiguous
+// power-of-two array (index masking, no modulo), so the egress hot path
+// touches a single allocation that stops growing once the queue's
+// high-water mark is reached. Elements must be default-constructible and
+// movable; capacity is never returned to the allocator (the simulator
+// trade: steady-state speed over transient footprint).
+//
+// Preconditions are the caller's: front()/pop_front() require a
+// non-empty ring, operator[] an index < size(). The NetDevice guards
+// every access with a size test already — the paths are hot enough that
+// the ring itself stays branch-free.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace paraleon::common {
+
+template <typename T>
+class Ring {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+
+  void push_back(T v) {
+    if (size_ == cap_) grow();
+    buf_[(head_ + size_) & mask_] = std::move(v);
+    ++size_;
+  }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  void pop_front() {
+    buf_[head_] = T{};  // don't keep moved-from payloads alive
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  /// i-th element from the front (0 == front()).
+  const T& operator[](std::size_t i) const {
+    return buf_[(head_ + i) & mask_];
+  }
+
+ private:
+  void grow() {
+    const std::size_t ncap = cap_ == 0 ? 16 : cap_ * 2;
+    std::unique_ptr<T[]> nbuf(new T[ncap]);
+    for (std::size_t i = 0; i < size_; ++i) {
+      nbuf[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(nbuf);
+    cap_ = ncap;
+    mask_ = ncap - 1;
+    head_ = 0;
+  }
+
+  std::unique_ptr<T[]> buf_;
+  std::size_t cap_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace paraleon::common

@@ -27,6 +27,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/unique_function.hpp"
+
 namespace paraleon::obs {
 
 class LoopProfiler;
@@ -37,11 +39,13 @@ class PerfMonitor {
   /// in [2^(i-1), 2^i). The last bucket absorbs everything larger.
   static constexpr int kBuckets = 40;
 
-  /// libstdc++'s std::function small-object buffer: closures larger than
-  /// this heap-allocate when type-erased into the event queue. The
-  /// threshold is an approximation on other runtimes; the counter's job
-  /// is trend tracking, not byte accounting.
-  static constexpr std::size_t kClosureSboBytes = 16;
+  /// The event engine's UniqueFunction inline buffer: closures larger
+  /// than this heap-allocate when type-erased into a pooled event node.
+  /// Matching the engine's capacity exactly makes closure_heap_allocs the
+  /// regression gate for the zero-alloc hot-path contract (a grown
+  /// closure shows up as a nonzero count, gated in BENCH_fig8.json).
+  static constexpr std::size_t kClosureSboBytes =
+      common::UniqueFunction::kInlineBytes;
 
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }

@@ -11,7 +11,8 @@
 
 namespace paraleon::runner {
 
-Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
+Experiment::Experiment(ExperimentConfig cfg)
+    : cfg_(std::move(cfg)), sim_(cfg_.event_queue) {
   // Observability knobs first so construction-time registrations and the
   // earliest events already see the final configuration. An armed flight
   // recorder implies attribution: its bundles carry attribution.json.

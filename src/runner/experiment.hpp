@@ -39,6 +39,7 @@
 #include "core/monitor.hpp"
 #include "obs/observability.hpp"
 #include "runner/scheme.hpp"
+#include "sim/simulator.hpp"
 #include "sim/topology.hpp"
 #include "sketch/elastic_sketch.hpp"
 #include "sketch/netflow.hpp"
@@ -75,6 +76,12 @@ struct ExperimentConfig {
   /// Observability: trace categories, loop profiling, counter scraping.
   /// Everything defaults off.
   obs::ObsConfig obs;
+  /// Event-queue backend. kReferenceHeap replays the pre-overhaul binary
+  /// heap ordering over the same pooled nodes — the determinism test runs
+  /// both and compares run_digest to prove the calendar swap is
+  /// order-invisible. Leave at kCalendar everywhere else.
+  sim::Simulator::QueueBackend event_queue =
+      sim::Simulator::QueueBackend::kCalendar;
 };
 
 class Experiment {

@@ -1,0 +1,65 @@
+#include "sim/event_queue.hpp"
+
+namespace paraleon::sim {
+
+void CalendarQueue::insert_into_current(EventEntry e) {
+  // current_ is sorted descending by (t, seq); the new entry carries the
+  // largest seq so far, so among equal timestamps it lands closest to the
+  // front — popped last, preserving FIFO.
+  const auto it = std::upper_bound(current_.begin(), current_.end(), e,
+                                   DescByTimeSeq{});
+  current_.insert(it, e);
+}
+
+void CalendarQueue::drain_bucket(int idx) {
+  auto& bucket = buckets_[static_cast<std::size_t>(idx)];
+  // Swap storage instead of copying: the emptied current_ vector hands
+  // its capacity to the bucket, so steady state reallocates nothing.
+  current_.swap(bucket);
+  bucket.clear();
+  std::sort(current_.begin(), current_.end(), DescByTimeSeq{});
+  // Warm the first pops of the fresh run; steady-state pops prefetch
+  // their own lookahead.
+  const std::size_t warm =
+      std::min(current_.size(), kPrefetchAhead + 1);
+  for (std::size_t i = 0; i < warm; ++i) {
+    prefetch_node(current_[current_.size() - 1 - i].node);
+  }
+  occ_[static_cast<std::size_t>(idx) >> 6] &=
+      ~(std::uint64_t{1} << (idx & 63));
+  cur_begin_ = base_ + (static_cast<Time>(idx) << kWidthShift);
+  cur_end_ = cur_begin_ + (Time{1} << kWidthShift);
+}
+
+void CalendarQueue::rotate() {
+  ++rotations_;
+  // Re-base the wheel at the far head's bucket and spill every far event
+  // that now fits the window. The far vector is a min-heap, so this costs
+  // O(k log n) for the k spilled events — no full rescan per rotation.
+  constexpr Time kWidthMask = (Time{1} << kWidthShift) - 1;
+  base_ = far_.front().t & ~kWidthMask;
+  far_threshold_ = base_ + (static_cast<Time>(kNumBuckets) << kWidthShift);
+  cur_ = 0;
+  while (!far_.empty() && far_.front().t < far_threshold_) {
+    const EventEntry e = far_.front();
+    std::pop_heap(far_.begin(), far_.end(), FarLater{});
+    far_.pop_back();
+    const auto idx = static_cast<std::size_t>((e.t - base_) >> kWidthShift);
+    buckets_[idx].push_back(e);
+    occ_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+}
+
+Time CalendarQueue::next_time() const {
+  if (!current_.empty()) return current_.back().t;
+  const int idx = next_occupied(cur_);
+  if (idx >= 0) {
+    const auto& bucket = buckets_[static_cast<std::size_t>(idx)];
+    Time best = kTimeNever;
+    for (const EventEntry& e : bucket) best = std::min(best, e.t);
+    return best;
+  }
+  return far_.empty() ? kTimeNever : far_.front().t;
+}
+
+}  // namespace paraleon::sim

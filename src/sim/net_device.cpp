@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
+#include "common/unique_function.hpp"
 #include "sim/node.hpp"
 
 namespace paraleon::sim {
@@ -16,8 +18,8 @@ NetDevice::NetDevice(Simulator* sim, Node* peer, int peer_port, Rate rate,
       prop_delay_(propagation_delay) {}
 
 void NetDevice::enqueue(const Packet& pkt, int in_port) {
-  // Each enqueue value-copies the Packet into the deque — the per-hop
-  // heap traffic the PerfMonitor's alloc counters quantify.
+  // Each enqueue value-copies the Packet into the ring — one contiguous
+  // array per class, no per-hop allocation.
   sim_->obs().perf().on_packet_enqueue(pkt.size_bytes);
   if (pkt.is_control()) {
     ctrl_q_.push_back({pkt, in_port});
@@ -48,25 +50,42 @@ void NetDevice::pause_data(Time duration) {
     }
   }
   pause_until_ = std::max(pause_until_, until);
-  // Wake the transmitter when the pause lapses; the generation counter
-  // voids stale kicks when the pause is extended or cancelled early.
-  const std::uint64_t gen = ++kick_generation_;
-  sim_->schedule_at(
-      pause_until_,
-      [this, gen] {
-        if (gen == kick_generation_) {
-          const Time span = sim_->now() - pause_start_;
-          paused_accum_ += span;
-          charge_blocked_flows(span);
-          obs::TraceRecorder& tr = sim_->obs().trace();
-          if (tr.enabled(obs::TraceCategory::kPfc)) {
-            tr.end_span(obs::TraceCategory::kPfc, "pfc.pause", sim_->now(),
-                        peer_->id(), peer_port_);
-          }
-          try_transmit();
-        }
-      },
-      "net.pause_kick");
+  // One outstanding kick covers any extension: it re-arms itself if the
+  // pause grew past its deadline. The pre-fix path scheduled a fresh kick
+  // per XOFF frame, so a PFC storm of N frames left N-1 dead events in
+  // the queue at exactly the moment the queue was deepest.
+  if (kick_armed_) return;
+  kick_armed_ = true;
+  schedule_kick(++kick_generation_);
+}
+
+void NetDevice::schedule_kick(std::uint64_t gen) {
+  kick_deadline_ = pause_until_;
+  ++kicks_scheduled_;
+  auto cb = [this, gen] { pause_kick(gen); };
+  static_assert(common::UniqueFunction::fits_inline<decltype(cb)>(),
+                "pause-kick closure must stay inline");
+  sim_->schedule_at(pause_until_, std::move(cb), "net.pause_kick");
+}
+
+void NetDevice::pause_kick(std::uint64_t gen) {
+  if (gen != kick_generation_) return;  // voided by an early resume
+  if (sim_->now() < pause_until_) {
+    // The pause was extended while this kick was in flight: relay to the
+    // new deadline instead of leaving a dead event behind.
+    schedule_kick(gen);
+    return;
+  }
+  kick_armed_ = false;
+  const Time span = sim_->now() - pause_start_;
+  paused_accum_ += span;
+  charge_blocked_flows(span);
+  obs::TraceRecorder& tr = sim_->obs().trace();
+  if (tr.enabled(obs::TraceCategory::kPfc)) {
+    tr.end_span(obs::TraceCategory::kPfc, "pfc.pause", sim_->now(),
+                peer_->id(), peer_port_);
+  }
+  try_transmit();
 }
 
 void NetDevice::resume_data() {
@@ -76,6 +95,7 @@ void NetDevice::resume_data() {
   charge_blocked_flows(span);
   pause_until_ = sim_->now();
   ++kick_generation_;  // void the pending auto-resume kick
+  kick_armed_ = false;
   obs::TraceRecorder& tr = sim_->obs().trace();
   if (tr.enabled(obs::TraceCategory::kPfc)) {
     tr.end_span(obs::TraceCategory::kPfc, "pfc.pause", sim_->now(),
@@ -91,10 +111,11 @@ void NetDevice::charge_blocked_flows(Time span_ns) {
   // path never sees it. Each distinct flow is charged once per span even
   // if several of its packets are queued (see attribution.hpp for the
   // full-span approximation). (peer, peer_port) is the latch key the
-  // downstream pauser opened its span under.
+  // downstream pauser opened its span under. The data ring holds data
+  // packets only, so no control filter is needed here.
   std::set<std::uint64_t> seen;
-  for (const Queued& q : data_q_) {
-    if (q.pkt.is_control()) continue;
+  for (std::size_t i = 0; i < data_q_.size(); ++i) {
+    const Queued& q = data_q_[i];
     if (!seen.insert(q.pkt.flow_id).second) continue;
     attr.on_flow_blocked(peer_->id(), peer_port_, q.pkt.flow_id, span_ns);
   }
@@ -122,12 +143,12 @@ void NetDevice::try_transmit() {
   }
   busy_ = true;
   const Time ser = serialization_time(item.pkt.size_bytes, rate_);
-  sim_->schedule_in(
-      ser,
-      [this, item = std::move(item)]() mutable {
-        finish_transmit(std::move(item));
-      },
-      "net.serialize");
+  auto cb = [this, item = std::move(item)]() mutable {
+    finish_transmit(std::move(item));
+  };
+  static_assert(common::UniqueFunction::fits_inline<decltype(cb)>(),
+                "hot-path serialize closure must stay inline");
+  sim_->schedule_in(ser, std::move(cb), "net.serialize");
 }
 
 void NetDevice::finish_transmit(Queued item) {
@@ -148,13 +169,41 @@ void NetDevice::finish_transmit(Queued item) {
   }
   if (on_dequeue) on_dequeue(item);
   Packet pkt = item.pkt;
-  if (pkt.ttl > 0) --pkt.ttl;
+  // ttl == 0 on arrival means "not tracked" (default Packet) and is
+  // forwarded untouched; a tracked packet whose budget hits zero here
+  // has looped. The pre-fix path forwarded it forever at TTL 0 with no
+  // signal (the TTL black hole); drop it loudly instead.
+  if (pkt.ttl > 0 && --pkt.ttl == 0) {
+    drop_expired(pkt);
+    try_transmit();
+    return;
+  }
   Node* peer = peer_;
   const int port = peer_port_;
-  sim_->schedule_in(
-      prop_delay_, [peer, port, pkt] { peer->receive(pkt, port); },
-      "net.propagate");
+  auto cb = [peer, port, pkt] { peer->receive(pkt, port); };
+  static_assert(common::UniqueFunction::fits_inline<decltype(cb)>(),
+                "hot-path propagate closure must stay inline");
+  sim_->schedule_in(prop_delay_, std::move(cb), "net.propagate");
   try_transmit();
+}
+
+void NetDevice::drop_expired(const Packet& pkt) {
+  ++ttl_drops_;
+  last_ttl_flow_ = pkt.flow_id;
+  if (!ttl_expired_.valid()) {
+    // Bound lazily so loop-free runs register nothing: a new counter in
+    // the registry snapshot would shift every clean run's digest.
+    ttl_expired_ = sim_->obs().registry().counter("sim.ttl_expired");
+  }
+  ttl_expired_.inc();
+  obs::TraceRecorder& tr = sim_->obs().trace();
+  if (tr.enabled(obs::TraceCategory::kPacket)) {
+    tr.instant(obs::TraceCategory::kPacket, "pkt.ttl_expired", sim_->now(),
+               peer_->id(), peer_port_,
+               {{"flow", static_cast<std::int64_t>(pkt.flow_id)},
+                {"src", static_cast<std::int64_t>(pkt.src)},
+                {"dst", static_cast<std::int64_t>(pkt.dst)}});
+  }
 }
 
 }  // namespace paraleon::sim

@@ -5,14 +5,16 @@
 // The owning node installs an `on_dequeue` hook for MMU accounting (switch)
 // or QP backpressure (host). Counters feed the Runtime Metric Monitor:
 // transmitted data bytes (throughput / utilisation) and accumulated paused
-// time (the O_PFC term of the utility function).
+// time (the O_PFC term of the utility function). Queue storage is a flat
+// common::Ring per class — contiguous, allocation-free at steady state.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
+#include "common/ring.hpp"
 #include "common/time.hpp"
+#include "obs/counters.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 
@@ -65,12 +67,35 @@ class NetDevice {
   /// an already-open pause) — the "PFC pauses received" counter.
   std::uint64_t pause_frames_received() const { return pause_frames_rx_; }
 
+  // ---- pause-kick bookkeeping (invariant checker + tests) ----
+  /// True while a wake-up kick event is pending for the open pause.
+  bool kick_armed() const { return kick_armed_; }
+  /// Fire time of the pending kick (meaningful while kick_armed()); may
+  /// trail pause_until() after an extension — the kick re-arms itself.
+  Time kick_deadline() const { return kick_deadline_; }
+  Time pause_until() const { return pause_until_; }
+  /// Kick events ever scheduled; the checker asserts this never exceeds
+  /// pause_frames_received() (the pre-fix storm scheduled one per frame).
+  std::uint64_t kicks_scheduled() const { return kicks_scheduled_; }
+
+  // ---- TTL expiry bookkeeping (invariant checker + monitor) ----
+  /// Packets dropped here because their hop budget expired. Nonzero means
+  /// a routing loop; CheckLevel::kFull fails the run naming the flow.
+  std::uint64_t ttl_drops() const { return ttl_drops_; }
+  std::uint64_t last_ttl_expired_flow() const { return last_ttl_flow_; }
+
   /// Invoked when a packet finishes serialising (leaves the buffer).
   std::function<void(const Queued&)> on_dequeue;
 
  private:
   void try_transmit();
   void finish_transmit(Queued item);
+  /// Schedules the pause-end wake-up at the current pause_until_.
+  void schedule_kick(std::uint64_t gen);
+  /// The scheduled wake-up: voided by generation on early resume,
+  /// re-armed (not duplicated) when the pause was extended meanwhile.
+  void pause_kick(std::uint64_t gen);
+  void drop_expired(const Packet& pkt);
   /// Attribution hook at pause end: charges every distinct flow still in
   /// the data queue the whole pause span it just sat through.
   void charge_blocked_flows(Time span_ns);
@@ -81,8 +106,8 @@ class NetDevice {
   Rate rate_;
   Time prop_delay_;
 
-  std::deque<Queued> ctrl_q_;
-  std::deque<Queued> data_q_;
+  common::Ring<Queued> ctrl_q_;
+  common::Ring<Queued> data_q_;
   std::int64_t ctrl_bytes_ = 0;
   std::int64_t data_bytes_ = 0;
   bool busy_ = false;
@@ -93,6 +118,15 @@ class NetDevice {
   std::uint64_t pause_events_ = 0;
   std::uint64_t pause_frames_rx_ = 0;
   std::uint64_t kick_generation_ = 0;
+  bool kick_armed_ = false;
+  Time kick_deadline_ = 0;
+  std::uint64_t kicks_scheduled_ = 0;
+
+  std::uint64_t ttl_drops_ = 0;
+  std::uint64_t last_ttl_flow_ = 0;
+  /// Lazily bound to the registry's "sim.ttl_expired" on first drop, so a
+  /// clean run's registry snapshot (and its digest) is unchanged.
+  obs::Counter ttl_expired_;
 
   std::int64_t tx_data_bytes_ = 0;
   std::int64_t tx_ctrl_bytes_ = 0;

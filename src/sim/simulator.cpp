@@ -9,25 +9,36 @@
 
 namespace paraleon::sim {
 
-Simulator::Simulator() : obs_(std::make_unique<obs::Observability>()) {
+Simulator::Simulator(QueueBackend backend)
+    : backend_(backend), obs_(std::make_unique<obs::Observability>()),
+      perf_(&obs_->perf()) {
   // The engine registers its own observables like every other layer.
   obs::Registry& reg = obs_->registry();
   reg.gauge("sim.events_executed",
             [this] { return static_cast<double>(executed_); });
   reg.gauge("sim.event_queue_depth",
-            [this] { return static_cast<double>(queue_.size()); });
+            [this] { return static_cast<double>(queue_depth()); });
   reg.gauge("sim.now_ms", [this] { return to_ms(now_); });
 }
 
-void Simulator::schedule_impl(Time t, Callback cb, const char* tag) {
+EventNode* Simulator::alloc_event(Time t) {
   PARALEON_CHECK(t >= now_, "cannot schedule into the past: t=", t,
                  " now=", now_);
+  return pool_.acquire();
+}
+
+void Simulator::enqueue_event(Time t, EventNode* n) {
   const std::uint64_t seq = next_seq_++;
-  if (tag != nullptr &&
-      (obs_->profiler().enabled() || obs_->perf().enabled())) {
-    event_tags_.emplace(seq, tag);
+  if (backend_ == QueueBackend::kCalendar) {
+    cal_.push(t, seq, n);
+  } else {
+    heap_.push(t, seq, n);
   }
-  queue_.push(Event{t, seq, std::move(cb)});
+}
+
+EventNode* Simulator::pop_event(Time limit, Time* fired_at) {
+  return backend_ == QueueBackend::kCalendar ? cal_.pop(limit, fired_at)
+                                             : heap_.pop(limit, fired_at);
 }
 
 void Simulator::run_until(Time t) {
@@ -37,35 +48,31 @@ void Simulator::run_until(Time t) {
   obs::PerfMonitor& perf = obs_->perf();
   const bool counted = perf.enabled();
   if (counted) perf.run_begin();
-  while (!queue_.empty() && queue_.top().t <= t) {
-    // Move the callback out before popping so it may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.t;
+  // The hook, too, only changes between runs (its contract forbids
+  // scheduling or mutation from inside the loop).
+  const bool hooked = static_cast<bool>(post_event_);
+  Time fired = 0;
+  // The node is released only after its closure returns: events it
+  // schedules acquire fresh nodes while this one is still live.
+  while (EventNode* n = pop_event(t, &fired)) {
+    now_ = fired;
     ++executed_;
-    const char* tag = nullptr;
-    if (profiled || counted) {
-      const auto it = event_tags_.find(ev.seq);
-      if (it != event_tags_.end()) {
-        tag = it->second;
-        event_tags_.erase(it);
-      }
-    }
     if (counted) {
-      perf.on_execute(queue_.size());
-      perf.count_tag(tag);
+      perf.on_execute(queue_depth());
+      perf.count_tag(n->tag);
     }
     if (profiled) {
       const auto t0 = std::chrono::steady_clock::now();
-      ev.cb();
+      n->fn();
       const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
-      obs_->profiler().record(tag, wall);
+      obs_->profiler().record(n->tag, wall);
     } else {
-      ev.cb();
+      n->fn();
     }
-    if (post_event_) post_event_(now_);
+    pool_.release(n);
+    if (hooked) post_event_(now_);
   }
   if (counted) perf.run_end();
   if (t != kTimeNever && now_ < t) now_ = t;

@@ -1,8 +1,13 @@
 // Deterministic discrete-event engine.
 //
-// Events are (time, sequence, closure) triples in a binary heap; the
-// sequence number makes same-timestamp events fire in scheduling order, so
-// a run is a pure function of its seed.
+// Events are (time, sequence, closure) triples; the sequence number makes
+// same-timestamp events fire in scheduling order, so a run is a pure
+// function of its seed. Storage is pooled: closures live in arena-backed
+// EventNodes (a move-only UniqueFunction whose inline buffer fits every
+// hot-path closure — zero heap traffic per event), ordered by a calendar
+// queue tuned for the simulator's bimodal schedule horizon (see
+// sim/event_queue.hpp). The kReferenceHeap backend keeps the old binary
+// heap ordering alive for digest-equivalence tests.
 //
 // The simulator also owns the run's observability context (counter
 // registry, trace recorder, loop profiler): every component already holds
@@ -13,40 +18,51 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
-#include <vector>
 
 #include "common/time.hpp"
+#include "common/unique_function.hpp"
 #include "obs/observability.hpp"
+#include "sim/event_queue.hpp"
 
 namespace paraleon::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  enum class QueueBackend {
+    /// Production backend: pooled calendar queue (the fast path).
+    kCalendar,
+    /// The pre-overhaul binary-heap ordering over the same pooled nodes.
+    /// Fire order is identical by construction; the determinism tests run
+    /// both backends and compare run_digest to prove it.
+    kReferenceHeap,
+  };
 
-  Simulator();
+  explicit Simulator(QueueBackend backend = QueueBackend::kCalendar);
 
   Time now() const { return now_; }
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_depth() const {
+    return backend_ == QueueBackend::kCalendar ? cal_.size() : heap_.size();
+  }
+  QueueBackend backend() const { return backend_; }
 
   /// Schedules `cb` at absolute time `t` (>= now). `tag` must be a string
   /// literal (or nullptr); it labels the event in the loop profiler and
   /// the PerfMonitor's per-event-type counts. Templated so the
-  /// PerfMonitor can observe the concrete closure size before it is
-  /// type-erased into Callback (sizeof the decayed functor is exactly
-  /// what std::function's small-buffer test sees).
+  /// PerfMonitor can observe the concrete closure size before type
+  /// erasure, and so the closure is moved exactly once — straight into
+  /// the pooled node's inline buffer.
   template <typename F>
   void schedule_at(Time t, F&& cb, const char* tag = nullptr) {
-    obs::PerfMonitor& perf = obs_->perf();
-    if (perf.enabled()) {
-      perf.on_schedule(queue_.size(), t - now_, sizeof(std::decay_t<F>));
+    if (perf_->enabled()) {
+      perf_->on_schedule(queue_depth(), t - now_, sizeof(std::decay_t<F>));
     }
-    schedule_impl(t, Callback(std::forward<F>(cb)), tag);
+    EventNode* n = alloc_event(t);
+    n->fn.emplace(std::forward<F>(cb));
+    n->tag = tag;
+    enqueue_event(t, n);
   }
 
   /// Schedules `cb` `delta` nanoseconds from now.
@@ -63,13 +79,22 @@ class Simulator {
   /// Runs until the event queue is empty.
   void run() { run_until(kTimeNever); }
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return queue_depth() == 0; }
 
   /// Timestamp of the earliest pending event (kTimeNever when the queue is
   /// empty) — the flight recorder's "event-queue head" bundle field.
   Time next_event_time() const {
-    return queue_.empty() ? kTimeNever : queue_.top().t;
+    return backend_ == QueueBackend::kCalendar ? cal_.next_time()
+                                               : heap_.next_time();
   }
+
+  // ---- event-pool telemetry (deterministic; tests + docs) ----
+  /// Nodes ever carved from the arena (block-granular high-water mark).
+  std::size_t event_pool_capacity() const { return pool_.capacity(); }
+  /// Nodes currently on the freelist; equals capacity when drained.
+  std::size_t event_pool_free() const { return pool_.free_count(); }
+  /// Calendar window rotations (0 under kReferenceHeap).
+  std::uint64_t queue_rotations() const { return cal_.rotations(); }
 
   /// The run's observability context (stable address for the simulator's
   /// lifetime; counter handles and gauges registered here survive moves).
@@ -85,33 +110,24 @@ class Simulator {
   }
 
  private:
-  /// The type-erased tail of schedule_at: range check, optional side-map
-  /// tag registration, heap push.
-  void schedule_impl(Time t, Callback cb, const char* tag);
-
-  // Tags deliberately do NOT live in Event: the heap is the engine's hot
-  // path and every byte of Event is moved O(log n) times per schedule, so
-  // an unprofiled run must not carry profiling payload. Tags go into a
-  // side map keyed by seq, populated only while the profiler or the
-  // perf monitor is enabled.
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
+  /// Range check + pool acquire; the caller fills fn/tag in place.
+  EventNode* alloc_event(Time t);
+  /// Stamps the next sequence number and pushes onto the active backend.
+  void enqueue_event(Time t, EventNode* n);
+  EventNode* pop_event(Time limit, Time* fired_at);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  QueueBackend backend_;
+  EventPool pool_;
+  CalendarQueue cal_;
+  ReferenceHeapQueue heap_;
   std::function<void(Time)> post_event_;
   std::unique_ptr<obs::Observability> obs_;
-  std::unordered_map<std::uint64_t, const char*> event_tags_;
+  // Cached &obs_->perf(): schedule_at checks enabled() on every call and
+  // should not chase the Observability pointer first.
+  obs::PerfMonitor* perf_ = nullptr;
 };
 
 }  // namespace paraleon::sim

@@ -88,6 +88,49 @@ TEST(Determinism, DifferentWorkloadSeedDifferentDigest) {
   EXPECT_NE(a, b);
 }
 
+// ---- event-engine equivalence ----
+
+TEST(Determinism, CalendarAndReferenceHeapBackendsDigestIdentically) {
+  // The calendar-queue overhaul must be invisible to fire order: the same
+  // run on the pre-overhaul binary-heap ordering (kReferenceHeap) and on
+  // the calendar backend must hash to the same digest, byte for byte.
+  for (const Scheme scheme : {Scheme::kDefaultStatic, Scheme::kParaleon}) {
+    ExperimentConfig heap_cfg = base_config(scheme, 42);
+    heap_cfg.event_queue = sim::Simulator::QueueBackend::kReferenceHeap;
+    const auto cal = digest_of_run(base_config(scheme, 42), 7);
+    const auto heap = digest_of_run(std::move(heap_cfg), 7);
+    EXPECT_EQ(cal, heap) << "backends diverged under scheme "
+                         << static_cast<int>(scheme);
+  }
+}
+
+TEST(Determinism, PfcStormScenarioIsDeterministicAndInvariantClean) {
+  // A PFC-heavy run: a tiny shared buffer (the dynamic XOFF threshold
+  // pfc_alpha * headroom trips almost immediately) + a synchronized
+  // incast, so pause/resume (and the dedup'd pause-kick relay) fire
+  // constantly. kFull invariants watch every event; two runs must digest
+  // identically.
+  const auto storm_digest = [] {
+    ExperimentConfig cfg = base_config(Scheme::kDefaultStatic, 21);
+    cfg.clos.switch_cfg.buffer_bytes = 96 * 1024;  // tiny shared MMU
+    cfg.duration = milliseconds(8);
+    cfg.invariants.level = check::CheckLevel::kFull;
+    Experiment exp(std::move(cfg));
+    for (int src = 1; src < 8; ++src) {
+      exp.inject_flow(src, 0, 512 * 1024);
+    }
+    exp.run();
+    // The scenario only counts if PFC actually stormed.
+    std::uint64_t pauses = 0;
+    for (int h = 0; h < exp.topology().host_count(); ++h) {
+      pauses += exp.topology().host(h).uplink().pause_frames_received();
+    }
+    EXPECT_GT(pauses, 0u) << "incast never tripped PFC; deadband too wide";
+    return runner::run_digest(exp);
+  };
+  EXPECT_EQ(storm_digest(), storm_digest());
+}
+
 // ---- observability determinism ----
 
 ExperimentConfig obs_config(std::uint64_t seed) {

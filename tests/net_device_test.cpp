@@ -170,6 +170,93 @@ TEST_F(NetDeviceTest, TtlDecrementsOnHop) {
   EXPECT_EQ(sink_.arrivals[0].pkt.ttl, 63);
 }
 
+TEST_F(NetDeviceTest, TtlExpiryDropsInsteadOfForwarding) {
+  // A packet whose hop budget dies on this hop must be dropped, not
+  // delivered with ttl 0 (the old engine forwarded it forever — the TTL
+  // black hole).
+  Packet doomed = data_packet(1000, /*flow=*/77);
+  doomed.ttl = 1;
+  dev_.enqueue(doomed, -1);
+  Packet fine = data_packet(1000, /*flow=*/78);
+  fine.ttl = 2;
+  dev_.enqueue(fine, -1);
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 1u);
+  EXPECT_EQ(sink_.arrivals[0].pkt.flow_id, 78u);
+  EXPECT_EQ(dev_.ttl_drops(), 1u);
+  EXPECT_EQ(dev_.last_ttl_expired_flow(), 77u);
+  // The drop frees the line: the survivor still serialized back-to-back.
+  EXPECT_EQ(sink_.arrivals[0].t, 2 * 800 + microseconds(1));
+}
+
+TEST_F(NetDeviceTest, TtlZeroOnUntrackedPacketsIsNotDecremented) {
+  // ttl == 0 marks "no TTL tracking"; those forward untouched rather
+  // than being treated as expired.
+  Packet p = data_packet(1000);
+  p.ttl = 0;
+  dev_.enqueue(p, -1);
+  sim_.run();
+  ASSERT_EQ(sink_.arrivals.size(), 1u);
+  EXPECT_EQ(sink_.arrivals[0].pkt.ttl, 0u);
+  EXPECT_EQ(dev_.ttl_drops(), 0u);
+}
+
+TEST_F(NetDeviceTest, PauseKickIsDedupedAcrossExtensions) {
+  // One storm of XOFF refreshes used to schedule one wake-up event per
+  // frame; now at most one kick is outstanding, relayed forward when the
+  // deadline extends.
+  for (int i = 0; i < 50; ++i) {
+    dev_.pause_data(microseconds(10) + i * microseconds(2));
+  }
+  EXPECT_TRUE(dev_.kick_armed());
+  EXPECT_EQ(dev_.kicks_scheduled(), 1u);
+  EXPECT_EQ(dev_.pause_frames_received(), 50u);
+  dev_.enqueue(data_packet(1000), -1);
+  sim_.run();
+  // The relay chain re-arms at most once per expired deadline, so the
+  // total stays far below one-per-frame.
+  EXPECT_LE(dev_.kicks_scheduled(), 2u);
+  EXPECT_FALSE(dev_.kick_armed());
+  ASSERT_EQ(sink_.arrivals.size(), 1u);
+  // Last extension: paused until 10 us + 49 * 2 us = 108 us.
+  EXPECT_EQ(sink_.arrivals[0].t,
+            microseconds(108) + 800 + microseconds(1));
+}
+
+TEST_F(NetDeviceTest, ResumeDisarmsThePendingKick) {
+  dev_.pause_data(microseconds(100));
+  EXPECT_TRUE(dev_.kick_armed());
+  sim_.run_until(microseconds(10));
+  dev_.resume_data();
+  EXPECT_FALSE(dev_.kick_armed());
+  // A fresh pause after the resume arms a fresh kick (new generation).
+  dev_.pause_data(microseconds(50));
+  EXPECT_TRUE(dev_.kick_armed());
+  EXPECT_EQ(dev_.kicks_scheduled(), 2u);
+  sim_.run();
+  EXPECT_FALSE(dev_.kick_armed());
+  // 10 us of the first pause (cut short) + the full 50 us second pause.
+  EXPECT_EQ(dev_.paused_time(), microseconds(10) + microseconds(50));
+}
+
+TEST_F(NetDeviceTest, KickRelayCollapsesExtensionChains) {
+  // Extend the pause while the kick is in flight, repeatedly: each expiry
+  // relays once instead of scheduling per extension.
+  dev_.pause_data(microseconds(10));
+  for (int i = 1; i <= 4; ++i) {
+    // Just before each deadline, push it out again: until 20/30/40/50 us.
+    sim_.run_until(i * microseconds(10) - microseconds(1));
+    dev_.pause_data(microseconds(11));
+  }
+  dev_.enqueue(data_packet(1000), -1);
+  sim_.run();
+  EXPECT_EQ(dev_.pause_frames_received(), 5u);
+  // 1 original + at most one relay per expired deadline (4 extensions).
+  EXPECT_LE(dev_.kicks_scheduled(), 5u);
+  ASSERT_EQ(sink_.arrivals.size(), 1u);
+  EXPECT_EQ(sink_.arrivals[0].t, microseconds(50) + 800 + microseconds(1));
+}
+
 TEST_F(NetDeviceTest, LineRateThroughputSustained) {
   // 100 packets of 1000 B at 10 Gbps should take exactly 100 * 800 ns of
   // serialisation; the device must not exceed or undercut line rate.

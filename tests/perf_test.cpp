@@ -53,11 +53,14 @@ TEST(PerfMonitor, DisabledHooksAreNoOps) {
 TEST(PerfMonitor, CountersAndHistograms) {
   PerfMonitor perf;
   perf.set_enabled(true);
-  // Closure of 8 bytes fits the 16-byte SBO; 64 bytes heap-allocates.
-  perf.on_schedule(0, /*horizon_ns=*/5, /*closure_bytes=*/8);
-  perf.on_schedule(1, /*horizon_ns=*/0, /*closure_bytes=*/64);
+  // A closure at exactly the SBO capacity stays inline; one byte more
+  // heap-allocates. Sizes track UniqueFunction::kInlineBytes so the test
+  // follows the engine's buffer, not a literal.
+  constexpr std::size_t kSbo = PerfMonitor::kClosureSboBytes;
+  perf.on_schedule(0, /*horizon_ns=*/5, /*closure_bytes=*/kSbo);
+  perf.on_schedule(1, /*horizon_ns=*/0, /*closure_bytes=*/kSbo + 1);
   EXPECT_EQ(perf.events_scheduled(), 2u);
-  EXPECT_EQ(perf.closure_bytes(), 72u);
+  EXPECT_EQ(perf.closure_bytes(), 2 * kSbo + 1);
   EXPECT_EQ(perf.closure_heap_allocs(), 1u);
   EXPECT_EQ(perf.max_queue_depth(), 2u);
   // horizon 5 -> bucket bit_width(5) = 3; horizon 0 -> bucket 0.

@@ -145,6 +145,55 @@ TEST(Simulator, SameTimestampOrderedBySequenceAcrossSources) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(Simulator, TagAttributionSurvivesPerfToggles) {
+  // Pins the event_tags_ side-map leak fix: the tag now rides inside the
+  // pooled node, so attribution works for events scheduled while perf
+  // counting was OFF, and toggling perf between schedule and execute
+  // leaves no orphaned map entries behind.
+  Simulator sim;
+  sim.schedule_at(10, [] {}, "layer.alpha");   // scheduled while disabled
+  sim.obs().perf().set_enabled(true);
+  sim.schedule_at(20, [] {}, "layer.beta");
+  sim.schedule_at(30, [] {}, "layer.beta");
+  sim.run_until(25);
+  sim.obs().perf().set_enabled(false);
+  sim.schedule_at(40, [] {}, "layer.gamma");   // executes while disabled
+  sim.run();
+  const auto tags = sim.obs().perf().tags_by_name();
+  // alpha and the first beta fired while counting was on; the side-map
+  // design missed alpha (no entry was recorded at schedule time).
+  EXPECT_EQ(tags.at("layer.alpha"), 1u);
+  EXPECT_EQ(tags.at("layer.beta"), 1u);
+  EXPECT_EQ(tags.count("layer.gamma"), 0u);
+  const auto layers = sim.obs().perf().tags_by_layer();
+  EXPECT_EQ(layers.at("layer"), 2u);
+}
+
+TEST(Simulator, EventPoolRecyclesNodesAcrossRuns) {
+  Simulator sim;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      sim.schedule_in(1 + i, [] {});
+    }
+    sim.run();
+    // Every node returns to the freelist once the queue drains.
+    EXPECT_EQ(sim.event_pool_free(), sim.event_pool_capacity());
+  }
+  // Steady-state rounds reuse the arena: the high-water mark is the one
+  // round's 300 outstanding nodes, not 4 * 300.
+  EXPECT_EQ(sim.event_pool_capacity(), 300u);
+}
+
+TEST(Simulator, CalendarRotatesOnFarHorizonSchedules) {
+  Simulator sim;  // default backend: calendar
+  int fired = 0;
+  // 10 ms >> the 2.1 ms wheel span: the window must rotate to reach it.
+  sim.schedule_at(milliseconds(10), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_GT(sim.queue_rotations(), 0u);
+}
+
 TEST(Simulator, ZeroDelaySelfChainTerminatesWithRunUntil) {
   Simulator sim;
   // A recurring event must progress the clock when it reschedules with a
