@@ -19,6 +19,7 @@
 
 #include "runner/experiment.hpp"
 #include "runner/report.hpp"
+#include "scenario/scenario.hpp"
 #include "stats/percentile.hpp"
 
 namespace paraleon::bench {
@@ -109,6 +110,14 @@ inline std::string scaling_note(const ExperimentConfig& cfg,
 /// write the sweep's `paraleon.fleet.v1` report (per-seed digest table,
 /// cross-run aggregates, worker utilization) to FILE plus the merged
 /// Perfetto timeline to FILE with a `.timeline.json` suffix.
+///
+/// Scenario-engine flags: `--legacy` makes a migrated bench (fig8/fig13)
+/// run its pre-scenario hand-wired setup instead of the committed
+/// scenarios/ file (one-PR escape hatch while the parity check beds in),
+/// `--grid-out FILE` writes the grid run's `paraleon.grid.v1` document,
+/// and `--grid-check` re-runs the grid serially and byte-compares the
+/// deterministic half against the parallel run (exit nonzero on any
+/// difference).
 struct ObsCli {
   bool trace = false;
   bool tiny = false;
@@ -122,6 +131,9 @@ struct ObsCli {
   int sweep = 0;         // 0 = no sweep mode requested
   std::string sweep_out; // empty = print only, no JSON artifact
   std::string fleet_out; // empty = no fleet report artifact
+  bool legacy = false;   // migrated benches: run the pre-scenario setup
+  std::string grid_out;  // empty = no paraleon.grid.v1 artifact
+  bool grid_check = false;  // re-run serially, byte-compare det half
 };
 
 /// The merged-timeline path derived from a `--fleet-out` path: strip one
@@ -134,6 +146,18 @@ inline std::string fleet_timeline_path(const std::string& fleet_out) {
     base.resize(base.size() - suffix.size());
   }
   return base + ".timeline.json";
+}
+
+/// Path of a committed scenarios/ file. The bench CMake bakes the repo's
+/// scenarios/ directory in as PARALEON_SCENARIO_DIR so the benches find
+/// their scenario from any build or working directory; the relative
+/// fallback keeps ad-hoc compiles run from the repo root working.
+inline std::string scenario_path(const std::string& file) {
+#ifdef PARALEON_SCENARIO_DIR
+  return std::string(PARALEON_SCENARIO_DIR) + "/" + file;
+#else
+  return "scenarios/" + file;
+#endif
 }
 
 inline ObsCli parse_obs_cli(int argc, char** argv) {
@@ -165,6 +189,12 @@ inline ObsCli parse_obs_cli(int argc, char** argv) {
       cli.sweep_out = argv[++i];
     } else if (std::strcmp(argv[i], "--fleet-out") == 0 && i + 1 < argc) {
       cli.fleet_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--legacy") == 0) {
+      cli.legacy = true;
+    } else if (std::strcmp(argv[i], "--grid-out") == 0 && i + 1 < argc) {
+      cli.grid_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--grid-check") == 0) {
+      cli.grid_check = true;
     }
   }
   return cli;
@@ -180,13 +210,16 @@ inline int strip_obs_cli(int argc, char** argv) {
            std::strcmp(a, "--perf-out") == 0 ||
            std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "--sweep") == 0 ||
            std::strcmp(a, "--sweep-out") == 0 ||
-           std::strcmp(a, "--fleet-out") == 0;
+           std::strcmp(a, "--fleet-out") == 0 ||
+           std::strcmp(a, "--grid-out") == 0;
   };
   const auto is_flag = [](const char* a) {
     return std::strcmp(a, "--trace") == 0 || std::strcmp(a, "--tiny") == 0 ||
            std::strcmp(a, "--flight") == 0 ||
            std::strcmp(a, "--flight-fault") == 0 ||
-           std::strcmp(a, "--perf") == 0;
+           std::strcmp(a, "--perf") == 0 ||
+           std::strcmp(a, "--legacy") == 0 ||
+           std::strcmp(a, "--grid-check") == 0;
   };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -344,7 +377,11 @@ class WallTimer {
 
 /// Paper-shaped fabric at laptop scale: 8 ToR, 4 leaf, 8 hosts/ToR
 /// (64 hosts), 10 Gbps host links, 5 Gbps fabric links — per ToR 80G down
-/// vs 20G up = the paper's 4:1 oversubscription.
+/// vs 20G up = the paper's 4:1 oversubscription. The controller/agent
+/// block comes from scenario::apply_paper_defaults — the SAME function
+/// every scenario file routes through, which is what makes a scenario
+/// spelling out this fabric byte-identical to the hand-built config (the
+/// run_digest parity the migrated benches assert).
 inline ExperimentConfig paper_fabric(Scheme scheme, std::uint64_t seed) {
   ExperimentConfig cfg;
   cfg.clos.n_tor = 8;
@@ -355,33 +392,8 @@ inline ExperimentConfig paper_fabric(Scheme scheme, std::uint64_t seed) {
   cfg.clos.prop_delay = microseconds(5);  // paper value
   cfg.clos.switch_cfg.buffer_bytes = 12ll * 1024 * 1024;  // paper value
   cfg.scheme = scheme;
-  cfg.controller.mi = milliseconds(1);       // Table III
-  cfg.controller.kl_theta = 0.01;            // Table III
-  cfg.controller.weights = {0.2, 0.5, 0.3};  // Table III
-  // SA episode sized for the scaled fabric: 5 iters/temp, 0.7 cooling,
-  // 2 MIs per candidate (~70 ms per episode vs the paper's 280 ms with
-  // Table III's 20/0.85 — episode shape preserved, budget reduced).
-  cfg.controller.sa.total_iter_num = 5;
-  cfg.controller.sa.cooling_rate = 0.7;
-  cfg.controller.sa.initial_temp = 90;
-  cfg.controller.sa.final_temp = 10;
-  cfg.controller.sa.eta = 0.8;  // Table III
-  cfg.controller.eval_mi_per_candidate = 2;
-  // The paper's tau = 1MB elephant threshold is referenced to 100G links
-  // (~8% of line rate per 1 ms interval); keep the same relative meaning
-  // on the scaled fabric.
-  cfg.agent.ternary.tau_bytes = static_cast<std::int64_t>(
-      (1 << 20) * (cfg.clos.host_link / gbps(100)));
-  // Keep flows tracked across collective compute (OFF) gaps so the FSD
-  // stays stable over an ON-OFF workload (§IV-B1: the pattern "exhibits a
-  // similar traffic pattern over tens of milliseconds, preventing frequent
-  // fluctuation of the network-wide FSD").
-  cfg.agent.ternary.evict_after_idle = 25;
-  cfg.controller.episode_cooldown_mi = 30;
-  // Ratchet mode: keep re-tuning from the best-known setting; the
-  // post-episode check rolls back regressions.
-  cfg.controller.steady_retrigger_mi = 40;
   cfg.seed = seed;
+  scenario::apply_paper_defaults(cfg);
   return cfg;
 }
 

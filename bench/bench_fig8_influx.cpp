@@ -5,6 +5,15 @@
 // Reproduced shape: during the influx PARALEON drops RTT (mice-dominant
 // FSD -> delay-friendly setting) below the other schemes, then restores
 // throughput for the remaining elephants after the burst.
+//
+// The scheme table is now driven by scenarios/fig8_influx.json through
+// the scenario engine's GridRunner (`--jobs N` fans the scheme cells
+// out); every run asserts the scenario's PARALEON cell reproduces the
+// legacy hand-wired setup's run_digest bit for bit, and `--legacy` runs
+// the pre-scenario table directly (one-PR escape hatch, see
+// bench/legacy_setups.hpp). The sweep / flight-fault / replay modes keep
+// the legacy setup: they exercise exec and obs machinery, not the
+// scenario mapping.
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -13,7 +22,9 @@
 #include "bench_common.hpp"
 #include "exec/parallel_sweep.hpp"
 #include "exec/thread_pool.hpp"
+#include "legacy_setups.hpp"
 #include "runner/flight.hpp"
+#include "scenario/grid_runner.hpp"
 
 using namespace paraleon;
 using namespace paraleon::bench;
@@ -21,44 +32,19 @@ using namespace paraleon::runner;
 
 namespace {
 
-constexpr Time kInfluxStart = milliseconds(120);
-constexpr Time kInfluxEnd = milliseconds(150);
-constexpr Time kEnd = milliseconds(380);
 ObsCli g_cli;
 
 ExperimentConfig fig8_config(Scheme s) {
-  ExperimentConfig cfg = g_cli.tiny ? small_fabric(s, 9) : paper_fabric(s, 9);
-  cfg.duration = g_cli.tiny ? milliseconds(60) : kEnd;
-  // React fast enough to catch a 30 ms influx.
-  cfg.controller.episode_cooldown_mi = 10;
-  cfg.controller.steady_retrigger_mi = 0;  // pure KL-triggered adaptation
-  cfg.controller.post_check_window_mi = 5;
-  cfg.controller.sa.total_iter_num = 3;
-  cfg.controller.sa.cooling_rate = 0.5;
-  cfg.controller.sa.final_temp = 30;
-  cfg.controller.eval_mi_per_candidate = 2;
+  ExperimentConfig cfg = legacy_fig8_config(s, g_cli.tiny);
   apply_obs_cli(g_cli, cfg);
   return cfg;
 }
 
-/// The fig8 workload mix, shared by the normal run, the fault-injection
+/// The fig8 workload mix, shared by the legacy table, the fault-injection
 /// run and --replay-flight (a replay MUST install the identical workloads:
 /// the bundle stores only seed + horizon, determinism does the rest).
 void setup_workloads(Experiment& exp) {
-  const Time influx_start = g_cli.tiny ? milliseconds(20) : kInfluxStart;
-  const Time influx_end = g_cli.tiny ? milliseconds(35) : kInfluxEnd;
-
-  workload::AlltoallConfig a2a;
-  const int workers = g_cli.tiny ? 8 : 16;
-  const int stride = exp.topology().host_count() / workers;
-  for (int i = 0; i < workers; ++i) a2a.workers.push_back(i * stride);
-  a2a.flow_size = 512 * 1024;
-  a2a.off_period = milliseconds(1);
-  exp.add_alltoall(a2a);
-
-  workload::PoissonConfig burst = fb_hadoop(exp, 0.4, influx_end, 2009);
-  burst.start = influx_start;
-  exp.add_poisson(burst);
+  legacy_fig8_workloads(exp, g_cli.tiny);
 }
 
 /// --flight-fault: trip the flight recorder on demand by corrupting ToR 0's
@@ -239,11 +225,35 @@ int run_sweep(int n) {
   return 0;
 }
 
+/// The fig8 reporting phases, shared by the legacy and scenario tables.
+struct Fig8Phases {
+  Time before_start, influx_start, influx_end, tail_start, end;
+};
+
+Fig8Phases fig8_phases(Time end) {
+  Fig8Phases p;
+  p.before_start = g_cli.tiny ? milliseconds(5) : milliseconds(60);
+  p.influx_start = g_cli.tiny ? milliseconds(20) : milliseconds(120);
+  p.influx_end = g_cli.tiny ? milliseconds(35) : milliseconds(150);
+  p.tail_start = end - (g_cli.tiny ? milliseconds(20) : milliseconds(100));
+  p.end = end;
+  return p;
+}
+
+void print_table_header(const ExperimentConfig& cfg) {
+  print_header("Fig. 8: runtime throughput & RTT across a FB_Hadoop influx",
+               scaling_note(cfg,
+                            "LLM alltoall background + 30 ms FB_Hadoop burst "
+                            "@40% load (paper: 128 hosts @100G)"));
+  std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s\n", "", "before",
+              "", "influx", "", "after", "");
+  std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s\n", "scheme", "Gbps",
+              "rtt_us", "Gbps", "rtt_us", "Gbps", "rtt_us");
+}
+
 void run_scheme(Scheme s, TrendReport* trend) {
   ExperimentConfig cfg = fig8_config(s);
-  const Time influx_start = g_cli.tiny ? milliseconds(20) : kInfluxStart;
-  const Time influx_end = g_cli.tiny ? milliseconds(35) : kInfluxEnd;
-  const Time end = cfg.duration;
+  const Fig8Phases ph = fig8_phases(cfg.duration);
   Experiment exp(cfg);
   setup_workloads(exp);
   exp.run();
@@ -255,12 +265,9 @@ void run_scheme(Scheme s, TrendReport* trend) {
   const auto phase = [&](Time a, Time b) {
     std::printf(" | %8.2f %8.2f", tput.mean_in(a, b), rtt.mean_in(a, b));
   };
-  const Time before_start = g_cli.tiny ? milliseconds(5) : milliseconds(60);
-  const Time tail_start =
-      end - (g_cli.tiny ? milliseconds(20) : milliseconds(100));
-  phase(before_start, influx_start);                  // before
-  phase(influx_start + milliseconds(2), influx_end);  // influx
-  phase(tail_start, end);  // after (converged tail)
+  phase(ph.before_start, ph.influx_start);                   // before
+  phase(ph.influx_start + milliseconds(2), ph.influx_end);   // influx
+  phase(ph.tail_start, ph.end);  // after (converged tail)
   if (exp.controller() != nullptr) {
     std::printf("  (episodes=%llu)",
                 static_cast<unsigned long long>(exp.controller()->episodes()));
@@ -271,11 +278,13 @@ void run_scheme(Scheme s, TrendReport* trend) {
   // tracks: the three phase means, flow completions, and the event-loop
   // economics from the PerfMonitor.
   if (s == Scheme::kParaleon && trend != nullptr) {
-    trend->add("before_tput_gbps", tput.mean_in(before_start, influx_start),
-               "Gbps");
+    trend->add("before_tput_gbps", tput.mean_in(ph.before_start,
+                                                ph.influx_start), "Gbps");
     trend->add("influx_rtt_us",
-               rtt.mean_in(influx_start + milliseconds(2), influx_end), "us");
-    trend->add("after_tput_gbps", tput.mean_in(tail_start, end), "Gbps");
+               rtt.mean_in(ph.influx_start + milliseconds(2), ph.influx_end),
+               "us");
+    trend->add("after_tput_gbps", tput.mean_in(ph.tail_start, ph.end),
+               "Gbps");
     trend->add("fct_finished", static_cast<double>(exp.fct().finished()),
                "flows");
     if (exp.controller() != nullptr) {
@@ -286,21 +295,9 @@ void run_scheme(Scheme s, TrendReport* trend) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  g_cli = parse_obs_cli(argc, argv);
-  if (!g_cli.replay_bundle.empty()) return run_replay(g_cli.replay_bundle);
-  if (g_cli.flight_fault) return run_flight_fault();
-  if (g_cli.sweep > 0) return run_sweep(g_cli.sweep);
-  print_header("Fig. 8: runtime throughput & RTT across a FB_Hadoop influx",
-               scaling_note(fig8_config(Scheme::kParaleon),
-                            "LLM alltoall background + 30 ms FB_Hadoop burst "
-                            "@40% load (paper: 128 hosts @100G)"));
-  std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s\n", "", "before",
-              "", "influx", "", "after", "");
-  std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s\n", "scheme", "Gbps",
-              "rtt_us", "Gbps", "rtt_us", "Gbps", "rtt_us");
+/// --legacy: the pre-scenario table, scheme by scheme, serial.
+int run_legacy_table() {
+  print_table_header(fig8_config(Scheme::kParaleon));
   TrendReport trend("fig8_influx");
   for (Scheme s : {Scheme::kDefaultStatic, Scheme::kExpertStatic,
                    Scheme::kAcc, Scheme::kDcqcnPlus, Scheme::kParaleon}) {
@@ -311,4 +308,167 @@ int main(int argc, char** argv) {
       "influx window and the highest throughput after it.\n");
   write_trend(g_cli, trend);
   return 0;
+}
+
+/// Per-cell phase means harvested by the grid's on_cell hook (slots are
+/// preallocated and indexed by cell, so pool threads never contend).
+struct Fig8Slot {
+  double before_tput = 0, before_rtt = 0;
+  double influx_tput = 0, influx_rtt = 0;
+  double after_tput = 0, after_rtt = 0;
+  double episodes = -1;  // -1 = scheme has no controller
+  std::uint64_t fct_finished = 0;
+};
+
+/// Default mode: the scheme table from scenarios/fig8_influx.json. The
+/// scheme axis runs through the GridRunner (--jobs fans cells out), the
+/// PARALEON cell is digest-checked against the legacy hand-wired setup,
+/// and --grid-out / --grid-check expose the paraleon.grid.v1 surface.
+int run_scenario_table() {
+  const scenario::Scenario sc = scenario::load_scenario_file(
+      scenario_path("fig8_influx.json"), g_cli.tiny);
+  print_table_header(fig8_config(Scheme::kParaleon));
+
+  std::size_t n_cells = 1;
+  for (const auto& axis : sc.sweep) n_cells *= axis.values.size();
+  std::vector<Fig8Slot> slots(n_cells);
+  TrendReport trend("fig8_influx");
+
+  scenario::GridOptions opts;
+  opts.jobs = g_cli.jobs;
+  // The legacy oracle below applies the same CLI to its config: tracing
+  // schedules scrape events, so the digests only match when both sides
+  // see identical obs settings.
+  opts.on_config = [](const scenario::GridCell&, ExperimentConfig& cfg) {
+    apply_obs_cli(g_cli, cfg);
+  };
+  opts.on_cell = [&slots, &trend](const scenario::GridCell& cell,
+                                  Experiment& exp) {
+    const Fig8Phases ph = fig8_phases(exp.config().duration);
+    const auto& tput = exp.throughput_series();
+    const auto& rtt = exp.rtt_series();
+    Fig8Slot& slot = slots[cell.index];
+    slot.before_tput = tput.mean_in(ph.before_start, ph.influx_start);
+    slot.before_rtt = rtt.mean_in(ph.before_start, ph.influx_start);
+    slot.influx_tput =
+        tput.mean_in(ph.influx_start + milliseconds(2), ph.influx_end);
+    slot.influx_rtt =
+        rtt.mean_in(ph.influx_start + milliseconds(2), ph.influx_end);
+    slot.after_tput = tput.mean_in(ph.tail_start, ph.end);
+    slot.after_rtt = rtt.mean_in(ph.tail_start, ph.end);
+    if (exp.controller() != nullptr) {
+      slot.episodes = static_cast<double>(exp.controller()->episodes());
+    }
+    slot.fct_finished = exp.fct().finished();
+    if (cell.scenario.scheme.name == "paraleon") {
+      dump_obs(g_cli, exp, "fig8_paraleon");
+      add_perf_metrics(trend, exp);
+    }
+  };
+
+  obs::PoolTelemetry pool;
+  opts.telemetry = &pool;
+  const WallTimer wall;
+  scenario::GridOutcome grid = scenario::run_grid(sc, opts);
+  const double grid_seconds = wall.seconds();
+  grid.set_wall_seconds(grid_seconds);
+
+  for (std::size_t i = 0; i < grid.cells().size(); ++i) {
+    const scenario::GridCell& cell = grid.cells()[i];
+    const Fig8Slot& slot = slots[i];
+    std::printf("%-10s",
+                scheme_name(scenario::scheme_from_name(
+                                cell.scenario.scheme.name))
+                    .c_str());
+    std::printf(" | %8.2f %8.2f", slot.before_tput, slot.before_rtt);
+    std::printf(" | %8.2f %8.2f", slot.influx_tput, slot.influx_rtt);
+    std::printf(" | %8.2f %8.2f", slot.after_tput, slot.after_rtt);
+    if (slot.episodes >= 0) {
+      std::printf("  (episodes=%.0f)", slot.episodes);
+    }
+    std::printf("\n");
+    if (cell.scenario.scheme.name == "paraleon") {
+      trend.add("before_tput_gbps", slot.before_tput, "Gbps");
+      trend.add("influx_rtt_us", slot.influx_rtt, "us");
+      trend.add("after_tput_gbps", slot.after_tput, "Gbps");
+      trend.add("fct_finished", static_cast<double>(slot.fct_finished),
+                "flows");
+      if (slot.episodes >= 0) trend.add("episodes", slot.episodes,
+                                        "episodes");
+    }
+  }
+  std::printf(
+      "\nPaper Fig. 8 shape: PARALEON shows the lowest RTT during the\n"
+      "influx window and the highest throughput after it.\n");
+
+  // Parity oracle: the PARALEON cell must reproduce the legacy hand-wired
+  // setup's run_digest bit for bit (bench/legacy_setups.hpp).
+  {
+    ExperimentConfig cfg = fig8_config(Scheme::kParaleon);
+    Experiment exp(cfg);
+    setup_workloads(exp);
+    exp.run();
+    const std::uint64_t legacy = run_digest(exp);
+    bool found = false;
+    for (std::size_t i = 0; i < grid.cells().size(); ++i) {
+      if (grid.cells()[i].scenario.scheme.name != "paraleon") continue;
+      found = true;
+      if (grid.results()[i].digest != legacy) {
+        std::fprintf(stderr,
+                     "parity: scenario PARALEON digest %016llx != legacy "
+                     "%016llx — scenarios/fig8_influx.json drifted from "
+                     "bench/legacy_setups.hpp\n",
+                     static_cast<unsigned long long>(grid.results()[i].digest),
+                     static_cast<unsigned long long>(legacy));
+        return 1;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "parity: no paraleon cell in the grid\n");
+      return 1;
+    }
+    std::printf("# parity: scenario PARALEON cell matches the legacy setup "
+                "(digest %016llx)\n",
+                static_cast<unsigned long long>(legacy));
+  }
+
+  trend.add("grid_wall_seconds", grid_seconds, "s");
+  write_trend(g_cli, trend);
+  if (!g_cli.grid_out.empty()) {
+    grid.write(g_cli.grid_out);
+    std::printf("# grid: wrote %s\n", g_cli.grid_out.c_str());
+  }
+  if (g_cli.grid_check) {
+    scenario::GridOptions serial = opts;
+    serial.jobs = 1;
+    serial.telemetry = nullptr;
+    const scenario::GridOutcome again = scenario::run_grid(sc, serial);
+    if (again.to_json(false) != grid.to_json(false)) {
+      std::fprintf(stderr,
+                   "grid-check: deterministic half differs between jobs=%d "
+                   "and jobs=1\n",
+                   g_cli.jobs);
+      return 1;
+    }
+    std::printf("# grid-check: deterministic half byte-identical at jobs=%d "
+                "and jobs=1\n",
+                g_cli.jobs);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_cli = parse_obs_cli(argc, argv);
+  if (!g_cli.replay_bundle.empty()) return run_replay(g_cli.replay_bundle);
+  if (g_cli.flight_fault) return run_flight_fault();
+  if (g_cli.sweep > 0) return run_sweep(g_cli.sweep);
+  if (g_cli.legacy) return run_legacy_table();
+  try {
+    return run_scenario_table();
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return 2;
+  }
 }

@@ -388,6 +388,14 @@ workload::AlltoallWorkload& Experiment::add_alltoall(
   return *raw;
 }
 
+workload::Workload& Experiment::add_workload(
+    std::unique_ptr<workload::Workload> w) {
+  auto* raw = w.get();
+  workloads_.push_back(std::move(w));
+  raw->install(sim_, [this](const workload::FlowSpec& f) { start_flow(f); });
+  return *raw;
+}
+
 std::uint64_t Experiment::inject_flow(int src, int dst,
                                       std::int64_t size_bytes, Time at) {
   workload::FlowSpec spec;

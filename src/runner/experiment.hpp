@@ -91,6 +91,19 @@ class Experiment {
   workload::PoissonWorkload& add_poisson(workload::PoissonConfig wcfg);
   workload::AlltoallWorkload& add_alltoall(workload::AlltoallConfig wcfg);
 
+  /// Installs any Workload (the open extension point the scenario engine's
+  /// incast/permutation components use). The caller must have set the
+  /// workload's flow_id_base to next_workload_flow_base() — the id-space
+  /// discipline add_poisson/add_alltoall apply internally.
+  workload::Workload& add_workload(std::unique_ptr<workload::Workload> w);
+
+  /// The flow-id base the next added workload must use: bases start at
+  /// 1<<32 and advance per workload, so concurrent components and
+  /// inject_flow ids never clash.
+  std::uint64_t next_workload_flow_base() const {
+    return (static_cast<std::uint64_t>(workloads_.size()) + 1) << 32;
+  }
+
   /// Starts one explicit flow (immediately, or at absolute time `at` when
   /// >= now), tracked like any workload flow. Returns its flow id. Ids are
   /// small integers — workload bases start at 1<<32, so they never clash.

@@ -1,0 +1,248 @@
+#include "scenario/grid_runner.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "exec/parallel_map.hpp"
+#include "stats/percentile.hpp"
+
+namespace paraleon::scenario {
+
+namespace {
+
+std::string digest_hex(std::uint64_t d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(d));
+  return buf;
+}
+
+Json slowdown_json(const stats::FctTracker::SlowdownStats& s) {
+  Json j = Json::make_object();
+  j.set("mean", Json::make_number(s.mean));
+  j.set("p50", Json::make_number(s.p50));
+  j.set("p95", Json::make_number(s.p95));
+  j.set("p99", Json::make_number(s.p99));
+  j.set("p999", Json::make_number(s.p999));
+  return j;
+}
+
+Json aggregate_json(const runner::FleetAggregate& a) {
+  Json j = Json::make_object();
+  j.set("min", Json::make_number(a.min));
+  j.set("mean", Json::make_number(a.mean));
+  j.set("p95", Json::make_number(a.p95));
+  j.set("max", Json::make_number(a.max));
+  j.set("n", Json::make_int(static_cast<std::int64_t>(a.n)));
+  return j;
+}
+
+}  // namespace
+
+std::vector<GridCell> expand_grid(const Scenario& base) {
+  const auto& axes = base.sweep;
+  std::size_t total = 1;
+  for (const auto& axis : axes) total *= axis.values.size();
+
+  std::vector<GridCell> cells;
+  cells.reserve(total);
+  // Odometer over the axis value indices: the LAST axis spins fastest, so
+  // the first axis is the slow (outer) dimension — fig13's legacy
+  // scheme-outer / scale-inner order.
+  std::vector<std::size_t> odo(axes.size(), 0);
+  for (std::size_t index = 0; index < total; ++index) {
+    GridCell cell;
+    cell.index = index;
+    Json doc = base.doc;
+    doc.erase("sweep");
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const Json& value = axes[a].values[odo[a]];
+      cell.coords.emplace_back(axes[a].key, value);
+      apply_dotted_patch(doc, axes[a].key, value);
+    }
+    // Strict reparse: an axis that patched in an unknown key fails here
+    // with the usual "did you mean" error.
+    cell.scenario = parse_scenario(
+        doc, base.name + " cell " + std::to_string(index));
+    cells.push_back(std::move(cell));
+
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++odo[a] < axes[a].values.size()) break;
+      odo[a] = 0;
+    }
+  }
+  return cells;
+}
+
+CellResult run_cell(const GridCell& cell, const GridOptions& opts) {
+  runner::ExperimentConfig cfg = to_experiment_config(cell.scenario);
+  if (opts.perf_counters) cfg.obs.perf_counters = true;
+  if (opts.on_config) opts.on_config(cell, cfg);
+  runner::Experiment exp(cfg);
+  FlowScheduler flows(cell.scenario, &exp);
+  flows.install_all();
+  if (cell.scenario.scheme.force_trigger && exp.controller() != nullptr) {
+    exp.controller()->force_trigger();
+  }
+  exp.run();
+
+  CellResult r;
+  r.index = cell.index;
+  r.seed = cell.scenario.seed;
+  r.digest = runner::run_digest(exp);
+  r.value = evaluate_metric(cell.scenario, exp);
+  r.scrape = runner::scrape_run(exp);
+  if (opts.on_cell) opts.on_cell(cell, exp);
+  return r;
+}
+
+GridOutcome run_grid(const Scenario& base, const GridOptions& opts) {
+  std::vector<GridCell> cells = expand_grid(base);
+  std::vector<CellResult> results = exec::parallel_map(
+      cells, [&opts](const GridCell& cell) { return run_cell(cell, opts); },
+      opts.jobs, opts.telemetry);
+  GridOutcome outcome(base, std::move(cells), std::move(results));
+  outcome.set_wall_shape(opts.jobs, exec::ThreadPool::hardware_workers(),
+                         opts.telemetry);
+  return outcome;
+}
+
+GridOutcome::GridOutcome(const Scenario& base, std::vector<GridCell> cells,
+                         std::vector<CellResult> results)
+    : name_(base.name),
+      seed_(base.seed),
+      metric_(base.metric.name),
+      axes_(base.sweep),
+      cells_(std::move(cells)),
+      results_(std::move(results)) {}
+
+void GridOutcome::set_wall_shape(int jobs, int hardware_workers,
+                                 const obs::PoolTelemetry* pool) {
+  jobs_ = jobs;
+  hardware_workers_ = hardware_workers;
+  pool_ = pool;
+}
+
+std::map<std::string, runner::FleetAggregate> GridOutcome::aggregates()
+    const {
+  std::map<std::string, std::vector<double>> samples;
+  for (const auto& r : results_) {
+    for (const auto& [name, value] : r.scrape.instruments) {
+      samples[name].push_back(value);
+    }
+    samples["metric_value"].push_back(r.value);
+    samples["events_executed"].push_back(
+        static_cast<double>(r.scrape.events_executed));
+    samples["fct.finished"].push_back(
+        static_cast<double>(r.scrape.flows_finished));
+    samples["fct.slowdown_mean"].push_back(r.scrape.slowdown.mean);
+    samples["fct.slowdown_p95"].push_back(r.scrape.slowdown.p95);
+    samples["fct.slowdown_p999"].push_back(r.scrape.slowdown.p999);
+  }
+  std::map<std::string, runner::FleetAggregate> out;
+  for (const auto& [name, values] : samples) {
+    runner::FleetAggregate agg;
+    agg.n = values.size();
+    agg.min = values.front();
+    agg.max = values.front();
+    for (const double v : values) {
+      if (v < agg.min) agg.min = v;
+      if (v > agg.max) agg.max = v;
+    }
+    agg.mean = stats::mean(values);
+    agg.p95 = stats::quantile(values, 0.95);
+    out[name] = agg;
+  }
+  return out;
+}
+
+std::string GridOutcome::to_json(bool include_wall) const {
+  Json doc = Json::make_object();
+  doc.set("schema", Json::make_string("paraleon.grid.v1"));
+  doc.set("scenario", Json::make_string(name_));
+  doc.set("seed", Json::make_int(static_cast<std::int64_t>(seed_)));
+  doc.set("metric", Json::make_string(metric_));
+
+  Json axes = Json::make_array();
+  for (const auto& axis : axes_) {
+    Json a = Json::make_object();
+    a.set("key", Json::make_string(axis.key));
+    Json values = Json::make_array();
+    for (const auto& v : axis.values) values.push_back(v);
+    a.set("values", std::move(values));
+    axes.push_back(std::move(a));
+  }
+  doc.set("axes", std::move(axes));
+
+  Json cells = Json::make_array();
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const CellResult& r = results_[i];
+    Json c = Json::make_object();
+    c.set("index", Json::make_int(static_cast<std::int64_t>(r.index)));
+    Json coords = Json::make_object();
+    for (const auto& [key, value] : cells_[i].coords) {
+      coords.set(key, value);
+    }
+    c.set("coords", std::move(coords));
+    c.set("seed", Json::make_int(static_cast<std::int64_t>(r.seed)));
+    c.set("digest", Json::make_string(digest_hex(r.digest)));
+    c.set("value", Json::make_number(r.value));
+    c.set("events_executed",
+          Json::make_int(static_cast<std::int64_t>(r.scrape.events_executed)));
+    Json fct = Json::make_object();
+    fct.set("finished", Json::make_int(static_cast<std::int64_t>(
+                            r.scrape.flows_finished)));
+    fct.set("started", Json::make_int(static_cast<std::int64_t>(
+                           r.scrape.flows_started)));
+    fct.set("slowdown", slowdown_json(r.scrape.slowdown));
+    c.set("fct", std::move(fct));
+    cells.push_back(std::move(c));
+  }
+  doc.set("cells", std::move(cells));
+
+  Json aggs = Json::make_object();
+  for (const auto& [name, agg] : aggregates()) {
+    aggs.set(name, aggregate_json(agg));
+  }
+  doc.set("aggregates", std::move(aggs));
+
+  if (include_wall) {
+    // Everything below is OS-scheduling noise (and the requested job
+    // count, which must not influence the deterministic half): never
+    // digested, never byte-compared.
+    Json wall = Json::make_object();
+    wall.set("jobs", Json::make_int(jobs_));
+    wall.set("hardware_workers", Json::make_int(hardware_workers_));
+    wall.set("wall_seconds", Json::make_number(wall_seconds_));
+    if (pool_ != nullptr) {
+      const auto workers = pool_->worker_stats();
+      std::int64_t busy_ns = 0;
+      std::int64_t idle_ns = 0;
+      for (const auto& w : workers) {
+        busy_ns += w.busy_ns;
+        idle_ns += w.idle_ns;
+      }
+      Json pool = Json::make_object();
+      pool.set("workers",
+               Json::make_int(static_cast<std::int64_t>(workers.size())));
+      pool.set("pool_wall_seconds",
+               Json::make_number(pool_->wall_seconds()));
+      pool.set("busy_seconds",
+               Json::make_number(static_cast<double>(busy_ns) / 1e9));
+      pool.set("idle_seconds",
+               Json::make_number(static_cast<double>(idle_ns) / 1e9));
+      pool.set("jobs_completed", Json::make_int(static_cast<std::int64_t>(
+                                     pool_->jobs_completed())));
+      wall.set("pool", std::move(pool));
+    }
+    doc.set("wall", std::move(wall));
+  }
+  return doc.dump() + "\n";
+}
+
+void GridOutcome::write(const std::string& path, bool include_wall) const {
+  std::ofstream out(path);
+  out << to_json(include_wall);
+}
+
+}  // namespace paraleon::scenario

@@ -1,0 +1,127 @@
+// GridRunner: expands a scenario's sweep section into its cross-product
+// of cells and runs every cell through exec::parallel_map, producing one
+// paraleon.grid.v1 document.
+//
+// Determinism contract (the same split paraleon.bench.v1 / fleet.v1 use):
+// the deterministic half — per-cell seed, run_digest, metric value, scrape
+// and the aggregates over them — is byte-identical at any --jobs setting
+// (jobs<=1 is exec::parallel_map's exact serial path; cells never share
+// state). The requested job count, pool utilization and wall seconds live
+// only under the "wall" subtree, which to_json(false) omits entirely — the
+// form the grid determinism test byte-compares across worker counts.
+//
+// Cell enumeration is row-major with the FIRST axis slowest, matching the
+// legacy fig13 bench's scheme-outer / scale-inner loop order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/fleet.hpp"
+#include "runner/sweep_report.hpp"
+#include "scenario/flow_scheduler.hpp"
+#include "scenario/scenario.hpp"
+
+namespace paraleon::scenario {
+
+/// One point of the sweep cross-product: its row-major index, the axis
+/// coordinates that produced it, and the fully re-validated scenario with
+/// those patches applied (sweep section dropped).
+struct GridCell {
+  std::size_t index = 0;
+  std::vector<Json::Member> coords;
+  Scenario scenario;
+};
+
+/// The deterministic facts of one finished cell.
+struct CellResult {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t digest = 0;
+  double value = 0.0;
+  runner::RunScrape scrape;
+};
+
+struct GridOptions {
+  /// Worker threads for the cell fan-out; <=1 is the exact serial path,
+  /// 0 means one per hardware core.
+  int jobs = 1;
+  /// Enable cheap per-run perf counters on every cell (wall data — the
+  /// digest never sees it).
+  bool perf_counters = false;
+  /// Observes the pool that runs the cells (wall half of the report).
+  obs::PoolTelemetry* telemetry = nullptr;
+  /// Last-mile config hook, applied after the scenario's own mapping and
+  /// the perf_counters flag, before the Experiment is built — how the
+  /// benches layer their --trace/--flight CLI onto every cell. Anything
+  /// it changes that alters telemetry (tracing schedules scrape events)
+  /// changes the cells' digests, so a parity oracle must apply the SAME
+  /// hook to its legacy config.
+  std::function<void(const GridCell&, runner::ExperimentConfig&)> on_config;
+  /// Per-cell hook, called on the WORKER thread after the cell's run
+  /// completes. Must not touch shared mutable state except through
+  /// disjoint, preallocated slots (index by cell.index) — the benches use
+  /// this to harvest extra series for their tables.
+  std::function<void(const GridCell&, runner::Experiment&)> on_cell;
+};
+
+/// A finished grid: cells, per-cell results, and the wall-side facts.
+class GridOutcome {
+ public:
+  GridOutcome(const Scenario& base, std::vector<GridCell> cells,
+              std::vector<CellResult> results);
+
+  const std::vector<GridCell>& cells() const { return cells_; }
+  const std::vector<CellResult>& results() const { return results_; }
+
+  /// Wall-side facts (never part of the deterministic half). run_grid
+  /// fills jobs/hardware/pool; wall seconds are measured by the CALLER
+  /// (src/scenario never reads the wall clock — determinism lint).
+  void set_wall_shape(int jobs, int hardware_workers,
+                      const obs::PoolTelemetry* pool);
+  void set_wall_seconds(double s) { wall_seconds_ = s; }
+  double wall_seconds() const { return wall_seconds_; }
+
+  /// min/mean/p95/max over every scraped instrument plus metric_value,
+  /// events_executed and the fct.* summary — same reserved names as the
+  /// fleet report.
+  std::map<std::string, runner::FleetAggregate> aggregates() const;
+
+  /// The paraleon.grid.v1 document. include_wall=false omits the "wall"
+  /// subtree — byte-deterministic at any job count.
+  std::string to_json(bool include_wall = true) const;
+  void write(const std::string& path, bool include_wall = true) const;
+
+ private:
+  std::string name_;
+  std::uint64_t seed_ = 0;
+  std::string metric_;
+  std::vector<SweepAxis> axes_;
+  std::vector<GridCell> cells_;
+  std::vector<CellResult> results_;
+  int jobs_ = 1;
+  int hardware_workers_ = 0;
+  double wall_seconds_ = 0.0;
+  const obs::PoolTelemetry* pool_ = nullptr;
+};
+
+/// Expands the sweep cross-product. Each cell's doc is the base doc with
+/// the sweep section dropped and the axis patches applied, then strictly
+/// re-parsed — an axis over an unknown key fails with the usual
+/// "did you mean" ScenarioError. A scenario without a sweep expands to
+/// one cell with empty coords.
+std::vector<GridCell> expand_grid(const Scenario& base);
+
+/// Runs one cell to completion: config, experiment, FlowScheduler,
+/// forced trigger when requested, run, digest + metric + scrape. Exposed
+/// for the parity tests; run_grid fans exactly this out.
+CellResult run_cell(const GridCell& cell, const GridOptions& opts);
+
+/// The whole grid through exec::parallel_map. Results come back in cell
+/// order regardless of job count.
+GridOutcome run_grid(const Scenario& base, const GridOptions& opts = {});
+
+}  // namespace paraleon::scenario

@@ -1,0 +1,44 @@
+#include "workload/incast_workload.hpp"
+
+#include "check/check.hpp"
+
+namespace paraleon::workload {
+
+IncastWorkload::IncastWorkload(const IncastConfig& cfg) : cfg_(cfg) {
+  PARALEON_CHECK(!cfg_.senders.empty(), "incast needs >= 1 sender");
+  PARALEON_CHECK(cfg_.flow_size > 0, "incast flow size must be > 0, got ",
+                 cfg_.flow_size);
+  PARALEON_CHECK(cfg_.period > 0, "incast period must be > 0, got ",
+                 cfg_.period);
+  for (const int s : cfg_.senders) {
+    PARALEON_CHECK(s != cfg_.receiver,
+                   "incast receiver cannot also send, host ", s);
+  }
+}
+
+void IncastWorkload::install(sim::Simulator& sim, StartFlowFn start) {
+  sim_ = &sim;
+  start_ = std::move(start);
+  sim.schedule_at(cfg_.start, [this] { burst(sim_->now()); });
+}
+
+void IncastWorkload::burst(Time now) {
+  if (now >= cfg_.stop) return;
+  if (cfg_.max_rounds > 0 && rounds_started_ >= cfg_.max_rounds) return;
+  ++rounds_started_;
+  std::uint64_t sender_index = 0;
+  for (const int src : cfg_.senders) {
+    FlowSpec flow;
+    flow.flow_id = cfg_.flow_id_base + next_flow_++;
+    // Each sender reuses one long-lived QP to the receiver, so the
+    // data-plane sketches see a stable per-sender stream.
+    flow.qp_key = cfg_.flow_id_base + (1ull << 24) + sender_index++;
+    flow.src = src;
+    flow.dst = cfg_.receiver;
+    flow.size_bytes = cfg_.flow_size;
+    start_(flow);
+  }
+  sim_->schedule_in(cfg_.period, [this] { burst(sim_->now()); });
+}
+
+}  // namespace paraleon::workload

@@ -1,0 +1,53 @@
+// Synchronized N:1 incast — the storage/aggregation traffic pattern that
+// stresses the fan-in port (and DCQCN+'s target scenario).
+//
+// Every `period` all senders simultaneously transmit `flow_size` bytes to
+// the single receiver, whether or not the previous burst drained — a
+// fixed-cadence open-loop burst train, unlike the round-paced alltoall.
+// The generator is RNG-free: its arrival stream is a pure function of the
+// configuration, so composing it with stochastic components can never
+// perturb their seed streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace paraleon::workload {
+
+struct IncastConfig {
+  /// Sender host ids (the receiver must not be among them).
+  std::vector<int> senders;
+  int receiver = 0;
+  std::int64_t flow_size = 64 * 1024;
+  /// Burst cadence; every period starts one flow per sender.
+  Time period = milliseconds(1);
+  Time start = 0;
+  /// No bursts at or after this time.
+  Time stop = kTimeNever;
+  /// 0 = unlimited bursts until `stop`.
+  int max_rounds = 0;
+  std::uint64_t flow_id_base = 0;
+};
+
+class IncastWorkload final : public Workload {
+ public:
+  explicit IncastWorkload(const IncastConfig& cfg);
+
+  void install(sim::Simulator& sim, StartFlowFn start) override;
+
+  int rounds_started() const { return rounds_started_; }
+  std::uint64_t flows_started() const { return next_flow_; }
+
+ private:
+  void burst(Time now);
+
+  IncastConfig cfg_;
+  sim::Simulator* sim_ = nullptr;
+  StartFlowFn start_;
+  std::uint64_t next_flow_ = 0;
+  int rounds_started_ = 0;
+};
+
+}  // namespace paraleon::workload

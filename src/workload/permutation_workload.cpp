@@ -1,0 +1,61 @@
+#include "workload/permutation_workload.hpp"
+
+#include "check/check.hpp"
+
+namespace paraleon::workload {
+
+PermutationWorkload::PermutationWorkload(const PermutationConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  PARALEON_CHECK(cfg_.workers.size() >= 2,
+                 "permutation needs >= 2 workers, got ", cfg_.workers.size());
+  PARALEON_CHECK(cfg_.flow_size > 0,
+                 "permutation flow size must be > 0, got ", cfg_.flow_size);
+  PARALEON_CHECK(cfg_.period > 0, "permutation period must be > 0, got ",
+                 cfg_.period);
+}
+
+void PermutationWorkload::install(sim::Simulator& sim, StartFlowFn start) {
+  sim_ = &sim;
+  start_ = std::move(start);
+  sim.schedule_at(cfg_.start, [this] { start_round(sim_->now()); });
+}
+
+void PermutationWorkload::start_round(Time now) {
+  if (now >= cfg_.stop) return;
+  if (cfg_.max_rounds > 0 && rounds_started_ >= cfg_.max_rounds) return;
+  ++rounds_started_;
+
+  const std::size_t n = cfg_.workers.size();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = static_cast<int>(i);
+  // Fisher-Yates from this workload's own stream.
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng_.uniform_index(i + 1));
+    std::swap(perm_[i], perm_[j]);
+  }
+  // Derangement fixup: a fixed point would be a self-flow; swap it with
+  // its cyclic neighbour (deterministic, preserves the permutation
+  // property, costs no extra draws).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (perm_[i] == static_cast<int>(i)) {
+      std::swap(perm_[i], perm_[(i + 1) % n]);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    FlowSpec flow;
+    flow.flow_id = cfg_.flow_id_base + next_flow_++;
+    // One long-lived QP per (sender, partner) pair keeps the data-plane
+    // sketches' view stable across re-drawn permutations.
+    flow.qp_key = cfg_.flow_id_base + (1ull << 24) +
+                  i * n + static_cast<std::size_t>(perm_[i]);
+    flow.src = cfg_.workers[i];
+    flow.dst = cfg_.workers[static_cast<std::size_t>(perm_[i])];
+    flow.size_bytes = cfg_.flow_size;
+    start_(flow);
+  }
+  sim_->schedule_in(cfg_.period, [this] { start_round(sim_->now()); });
+}
+
+}  // namespace paraleon::workload

@@ -1,0 +1,54 @@
+// Random-permutation traffic: every round each worker sends one flow to
+// its image under a fresh uniform permutation (no self-loops) — the
+// classic synthetic pattern for exercising ECMP spread and fabric
+// oversubscription without fan-in hotspots.
+//
+// Rounds start on a fixed cadence (`period`), one permutation per round
+// drawn from the workload's own Rng, so its draw sequence is a function of
+// its seed alone — composing it with other components never perturbs
+// their streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace paraleon::workload {
+
+struct PermutationConfig {
+  std::vector<int> workers;
+  std::int64_t flow_size = 512 * 1024;
+  /// Round cadence; each round sends one flow per worker.
+  Time period = milliseconds(1);
+  Time start = 0;
+  Time stop = kTimeNever;
+  /// 0 = unlimited rounds until `stop`.
+  int max_rounds = 0;
+  std::uint64_t seed = 1;
+  std::uint64_t flow_id_base = 0;
+};
+
+class PermutationWorkload final : public Workload {
+ public:
+  explicit PermutationWorkload(const PermutationConfig& cfg);
+
+  void install(sim::Simulator& sim, StartFlowFn start) override;
+
+  int rounds_started() const { return rounds_started_; }
+  std::uint64_t flows_started() const { return next_flow_; }
+
+ private:
+  void start_round(Time now);
+
+  PermutationConfig cfg_;
+  Rng rng_;
+  sim::Simulator* sim_ = nullptr;
+  StartFlowFn start_;
+  std::uint64_t next_flow_ = 0;
+  int rounds_started_ = 0;
+  std::vector<int> perm_;  // scratch, reused across rounds
+};
+
+}  // namespace paraleon::workload

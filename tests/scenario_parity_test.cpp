@@ -1,0 +1,107 @@
+// Migration parity: the committed fig8/fig13 scenario files must
+// reproduce the legacy hand-wired bench setups (bench/legacy_setups.hpp)
+// bit for bit — same run_digest, same metric. This is the gate that lets
+// the scenario files become the single source of truth; if one of these
+// fails, a scenario file and the legacy builder have drifted apart.
+//
+// Runs use the --tiny shapes (16-host fig8, 60 ms fig13) to stay in
+// unit-test budget; the benches assert the same parity at full scale.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "legacy_setups.hpp"
+#include "scenario/grid_runner.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef PARALEON_SCENARIO_DIR
+#define PARALEON_SCENARIO_DIR "scenarios"
+#endif
+
+namespace paraleon::scenario {
+namespace {
+
+std::string pack_path(const std::string& file) {
+  return std::string(PARALEON_SCENARIO_DIR) + "/" + file;
+}
+
+/// Finds the unique expanded cell matching `pred`; fails the test when
+/// the pack no longer contains it.
+template <typename Pred>
+const GridCell* find_cell(const std::vector<GridCell>& cells, Pred pred) {
+  for (const GridCell& cell : cells) {
+    if (pred(cell.scenario)) return &cell;
+  }
+  ADD_FAILURE() << "no matching cell in the expanded grid";
+  return nullptr;
+}
+
+TEST(Fig8Parity, ScenarioCellsMatchTheLegacySetup) {
+  const Scenario sc =
+      load_scenario_file(pack_path("fig8_influx.json"), /*tiny=*/true);
+  const std::vector<GridCell> cells = expand_grid(sc);
+
+  for (const char* scheme : {"paraleon", "default"}) {
+    runner::ExperimentConfig cfg = bench::legacy_fig8_config(
+        scheme_from_name(scheme), /*tiny=*/true);
+    runner::Experiment exp(cfg);
+    bench::legacy_fig8_workloads(exp, /*tiny=*/true);
+    exp.run();
+    const std::uint64_t legacy = runner::run_digest(exp);
+
+    const GridCell* cell = find_cell(cells, [&](const Scenario& s) {
+      return s.scheme.name == scheme;
+    });
+    ASSERT_NE(cell, nullptr);
+    const CellResult result = run_cell(*cell, {});
+    EXPECT_EQ(result.digest, legacy)
+        << scheme << ": scenarios/fig8_influx.json drifted from "
+        << "bench/legacy_setups.hpp";
+  }
+}
+
+TEST(Fig13Parity, ParaleonAtEightWorkersMatchesTheLegacySetup) {
+  const Scenario sc =
+      load_scenario_file(pack_path("fig13_alltoall.json"), /*tiny=*/true);
+  const std::vector<GridCell> cells = expand_grid(sc);
+
+  runner::ExperimentConfig cfg = bench::legacy_fig13_config(
+      runner::Scheme::kParaleon, /*tiny=*/true);
+  runner::Experiment exp(cfg);
+  bench::legacy_fig13_workloads(exp, /*workers=*/8);
+  if (exp.controller() != nullptr) exp.controller()->force_trigger();
+  exp.run();
+  const std::uint64_t legacy = runner::run_digest(exp);
+  const double legacy_bw = exp.throughput_series().mean_in(
+      milliseconds(20), exp.config().duration);
+
+  const GridCell* cell = find_cell(cells, [](const Scenario& s) {
+    return s.scheme.name == "paraleon" && s.workload.front().workers == 8;
+  });
+  ASSERT_NE(cell, nullptr);
+  const CellResult result = run_cell(*cell, {});
+  EXPECT_EQ(result.digest, legacy)
+      << "scenarios/fig13_alltoall.json drifted from "
+      << "bench/legacy_setups.hpp";
+  // The scenario metric (tiny tail, from 20 ms) is the legacy table value.
+  EXPECT_DOUBLE_EQ(result.value, legacy_bw);
+}
+
+TEST(MixedMultitenant, ExpandsToTheThreeAxisCrossProduct) {
+  const Scenario sc = load_scenario_file(
+      pack_path("mixed_multitenant.json"), /*tiny=*/true);
+  ASSERT_EQ(sc.sweep.size(), 3u);
+  const std::vector<GridCell> cells = expand_grid(sc);
+  std::size_t product = 1;
+  for (const auto& axis : sc.sweep) product *= axis.values.size();
+  EXPECT_EQ(cells.size(), product);
+  EXPECT_EQ(cells.size(), 8u);
+  // All four tenant components survive every cell's strict reparse.
+  for (const GridCell& cell : cells) {
+    EXPECT_EQ(cell.scenario.workload.size(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace paraleon::scenario

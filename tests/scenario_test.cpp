@@ -1,0 +1,411 @@
+// Scenario schema: strict JSON parsing, unknown-key rejection with
+// "did you mean" suggestions, topology math, dotted patches, the tiny
+// overlay, and parameter-override application.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/json.hpp"
+#include "scenario/scenario.hpp"
+
+namespace paraleon::scenario {
+namespace {
+
+/// Runs `fn`, which must throw ScenarioError, and returns the message.
+template <typename Fn>
+std::string error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ScenarioError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a ScenarioError";
+  return "";
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// The smallest valid scenario; tests splice extra sections in.
+std::string minimal(const std::string& extra = "") {
+  std::string doc = R"({
+    "name": "t",
+    "seed": 5,
+    "duration_ms": 10,
+    "topology": {"kind": "dumbbell", "hosts_per_side": 4},
+    "workload": [{"name": "p", "kind": "poisson", "load": 0.3}])";
+  if (!extra.empty()) doc += ",\n" + extra;
+  return doc + "\n}";
+}
+
+// ---------------------------------------------------------------------
+// JSON layer
+// ---------------------------------------------------------------------
+
+TEST(JsonParse, BasicTypesRoundTrip) {
+  const Json doc = Json::parse(
+      R"({"b": true, "n": 2.5, "i": -7, "s": "x\n", "a": [1, 2],
+          "o": {"k": null}})");
+  EXPECT_TRUE(doc.find("b")->as_bool());
+  EXPECT_DOUBLE_EQ(doc.find("n")->as_double(), 2.5);
+  EXPECT_EQ(doc.find("i")->as_int64(), -7);
+  EXPECT_TRUE(doc.find("i")->is_integer());
+  EXPECT_FALSE(doc.find("n")->is_integer());
+  EXPECT_EQ(doc.find("s")->as_string(), "x\n");
+  EXPECT_EQ(doc.find("a")->items().size(), 2u);
+  EXPECT_TRUE(doc.find("o")->find("k")->is_null());
+  // Re-parsing the canonical dump reproduces it byte for byte.
+  const std::string once = doc.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(JsonParse, SyntaxErrorCarriesLineAndColumn) {
+  const std::string msg = error_of([] {
+    Json::parse("{\n  \"a\": ,\n}", "bad.json");
+  });
+  EXPECT_TRUE(contains(msg, "bad.json")) << msg;
+  EXPECT_TRUE(contains(msg, "line 2")) << msg;
+}
+
+TEST(JsonParse, RejectsTrailingComma) {
+  (void)error_of([] { Json::parse("[1, 2,]"); });
+  (void)error_of([] { Json::parse(R"({"a": 1,})"); });
+}
+
+TEST(JsonParse, RejectsContentAfterDocument) {
+  (void)error_of([] { Json::parse("{} {}"); });
+  (void)error_of([] { Json::parse("1 2"); });
+}
+
+TEST(JsonNumber, CanonicalAndRoundTrip) {
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(-42.0), "-42");
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(2.5), "2.5");
+  // Every rendering must parse back to the exact same double.
+  for (const double v : {0.1, 1.0 / 3.0, 1e-9, 9.87654321e20, 0.4}) {
+    EXPECT_EQ(std::strtod(json_number(v).c_str(), nullptr), v)
+        << json_number(v);
+  }
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  Json obj = Json::make_object();
+  obj.set("z", Json::make_int(1));
+  obj.set("a", Json::make_int(2));
+  obj.set("m", Json::make_int(3));
+  obj.set("a", Json::make_int(9));  // replace in place, not re-append
+  EXPECT_EQ(obj.dump(), "{\n  \"z\": 1,\n  \"a\": 9,\n  \"m\": 3\n}");
+  EXPECT_TRUE(obj.erase("z"));
+  EXPECT_FALSE(obj.erase("z"));
+  EXPECT_EQ(obj.members().front().first, "a");
+}
+
+// ---------------------------------------------------------------------
+// Strict key checking ("did you mean")
+// ---------------------------------------------------------------------
+
+TEST(ScenarioStrict, UnknownTopLevelKeySuggests) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(minimal(R"("topolgy": {})"));
+  });
+  EXPECT_TRUE(contains(msg, "unknown key \"topolgy\"")) << msg;
+  EXPECT_TRUE(contains(msg, "did you mean \"topology\"")) << msg;
+}
+
+TEST(ScenarioStrict, UnknownTopologyKeySuggests) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(R"({
+      "name": "t",
+      "topology": {"kind": "spine_leaf", "torss": 4},
+      "workload": [{"name": "p", "kind": "poisson"}]
+    })");
+  });
+  EXPECT_TRUE(contains(msg, "did you mean \"tors\"")) << msg;
+}
+
+TEST(ScenarioStrict, UnknownParamKeySuggests) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(minimal(
+        R"("scheme": {"params": {"controller.sa.coolingrate": 0.5}})"));
+  });
+  EXPECT_TRUE(contains(msg, "scheme.params")) << msg;
+  EXPECT_TRUE(contains(msg, "did you mean \"controller.sa.cooling_rate\""))
+      << msg;
+}
+
+TEST(ScenarioStrict, UnknownSchemeNameSuggests) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(minimal(R"("scheme": {"name": "paralon"})"));
+  });
+  EXPECT_TRUE(contains(msg, "did you mean \"paraleon\"")) << msg;
+}
+
+TEST(ScenarioStrict, UnknownMetricNameSuggests) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(minimal(R"("metric": {"name": "tput_mean_gpbs"})"));
+  });
+  EXPECT_TRUE(contains(msg, "did you mean \"tput_mean_gbps\"")) << msg;
+}
+
+TEST(ScenarioStrict, UnknownComponentKindSuggests) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(R"({
+      "name": "t",
+      "workload": [{"name": "c", "kind": "all_to_all", "workers": 4}]
+    })");
+  });
+  EXPECT_TRUE(contains(msg, "did you mean \"alltoall\"")) << msg;
+}
+
+TEST(ScenarioStrict, KeysAreValidatedPerComponentKind) {
+  // `workers` is a collective knob; on a poisson component it is an
+  // unknown key, not a silently ignored one.
+  const std::string msg = error_of([] {
+    parse_scenario_text(R"({
+      "name": "t",
+      "workload": [{"name": "p", "kind": "poisson", "workers": 4}]
+    })");
+  });
+  EXPECT_TRUE(contains(msg, "workload.p")) << msg;
+  EXPECT_TRUE(contains(msg, "unknown key \"workers\"")) << msg;
+}
+
+TEST(ScenarioStrict, FarFetchedKeyGetsNoSuggestion) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(minimal(R"("zzzzqqqq": 1)"));
+  });
+  EXPECT_TRUE(contains(msg, "unknown key")) << msg;
+  EXPECT_FALSE(contains(msg, "did you mean")) << msg;
+}
+
+TEST(SuggestKey, PicksClosestWithinBudget) {
+  const std::vector<std::string> known = {"tors", "spines", "hosts_per_tor"};
+  EXPECT_EQ(suggest_key("torss", known), "tors");
+  EXPECT_EQ(suggest_key("spine", known), "spines");
+  EXPECT_EQ(suggest_key("xyzzyplugh", known), "");
+}
+
+TEST(ParamOverrideKeys, SortedAndNonEmpty) {
+  const auto& keys = param_override_keys();
+  ASSERT_FALSE(keys.empty());
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Schema semantics
+// ---------------------------------------------------------------------
+
+TEST(ScenarioParse, MinimalDefaults) {
+  const Scenario sc = parse_scenario_text(minimal());
+  EXPECT_EQ(sc.name, "t");
+  EXPECT_EQ(sc.seed, 5u);
+  EXPECT_DOUBLE_EQ(sc.duration_ms, 10.0);
+  EXPECT_EQ(sc.scheme.name, "paraleon");
+  EXPECT_EQ(sc.metric.name, "tput_mean_gbps");
+  EXPECT_TRUE(sc.sweep.empty());
+  ASSERT_EQ(sc.workload.size(), 1u);
+  EXPECT_EQ(sc.workload[0].kind, WorkloadComponent::Kind::kPoisson);
+}
+
+TEST(ScenarioParse, DuplicateComponentNamesRejected) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(R"({
+      "name": "t",
+      "workload": [{"name": "p", "kind": "poisson"},
+                   {"name": "p", "kind": "poisson"}]
+    })");
+  });
+  EXPECT_TRUE(contains(msg, "duplicate component name \"p\"")) << msg;
+}
+
+TEST(ScenarioParse, PoissonLoadMustBeInUnitInterval) {
+  (void)error_of([] {
+    parse_scenario_text(R"({
+      "name": "t",
+      "workload": [{"name": "p", "kind": "poisson", "load": 0}]
+    })");
+  });
+  (void)error_of([] {
+    parse_scenario_text(R"({
+      "name": "t",
+      "workload": [{"name": "p", "kind": "poisson", "load": 1.5}]
+    })");
+  });
+}
+
+TEST(ScenarioParse, DcqcnOverridesRequireCustomScheme) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(minimal(
+        R"("scheme": {"name": "paraleon", "params": {"dcqcn.kmin_kb": 10}})"));
+  });
+  EXPECT_TRUE(contains(msg, "require scheme \"custom\"")) << msg;
+
+  const Scenario sc = parse_scenario_text(minimal(
+      R"("scheme": {"name": "custom", "params": {"dcqcn.kmin_kb": 10}})"));
+  const runner::ExperimentConfig cfg = to_experiment_config(sc);
+  EXPECT_EQ(cfg.custom_params.kmin_bytes, 10 * 1024);
+}
+
+TEST(ScenarioParse, OversubscriptionAndFabricGbpsAreExclusive) {
+  const std::string msg = error_of([] {
+    parse_scenario_text(R"({
+      "name": "t",
+      "topology": {"kind": "spine_leaf", "oversubscription": 4,
+                   "fabric_gbps": 5},
+      "workload": [{"name": "p", "kind": "poisson"}]
+    })");
+  });
+  EXPECT_TRUE(contains(msg, "not both")) << msg;
+}
+
+TEST(Topology, SpineLeafOversubscriptionDerivesFabricRate) {
+  // Paper shape: 8 hosts x 10G per ToR over 4 spines at 4:1 -> 5G uplinks.
+  const Scenario sc = parse_scenario_text(R"({
+    "name": "t",
+    "topology": {"kind": "spine_leaf", "tors": 8, "spines": 4,
+                 "hosts_per_tor": 8, "host_gbps": 10,
+                 "oversubscription": 4},
+    "workload": [{"name": "p", "kind": "poisson"}]
+  })");
+  const runner::ExperimentConfig cfg = to_experiment_config(sc);
+  EXPECT_EQ(cfg.clos.n_tor, 8);
+  EXPECT_EQ(cfg.clos.n_leaf, 4);
+  EXPECT_EQ(cfg.clos.hosts_per_tor, 8);
+  EXPECT_DOUBLE_EQ(cfg.clos.host_link, gbps(10));
+  EXPECT_DOUBLE_EQ(cfg.clos.fabric_link, gbps(5));
+}
+
+TEST(Topology, FatTreeCollapsesToTwoTierClos) {
+  const Scenario sc = parse_scenario_text(R"({
+    "name": "t",
+    "topology": {"kind": "fat_tree", "k": 4},
+    "workload": [{"name": "p", "kind": "poisson"}]
+  })");
+  const runner::ExperimentConfig cfg = to_experiment_config(sc);
+  EXPECT_EQ(cfg.clos.n_tor, 4);
+  EXPECT_EQ(cfg.clos.n_leaf, 2);
+  EXPECT_EQ(cfg.clos.hosts_per_tor, 2);
+
+  (void)error_of([] {
+    parse_scenario_text(R"({
+      "name": "t",
+      "topology": {"kind": "fat_tree", "k": 5},
+      "workload": [{"name": "p", "kind": "poisson"}]
+    })");
+  });
+}
+
+TEST(Topology, DumbbellBottleneckIsTheFabricLink) {
+  const Scenario sc = parse_scenario_text(R"({
+    "name": "t",
+    "topology": {"kind": "dumbbell", "hosts_per_side": 6,
+                 "bottleneck_gbps": 3},
+    "workload": [{"name": "p", "kind": "poisson"}]
+  })");
+  const runner::ExperimentConfig cfg = to_experiment_config(sc);
+  EXPECT_EQ(cfg.clos.n_tor, 2);
+  EXPECT_EQ(cfg.clos.n_leaf, 1);
+  EXPECT_EQ(cfg.clos.hosts_per_tor, 6);
+  EXPECT_DOUBLE_EQ(cfg.clos.fabric_link, gbps(3));
+}
+
+TEST(ScenarioParse, ParamOverridesLandInTheConfig) {
+  const Scenario sc = parse_scenario_text(minimal(R"("scheme": {
+    "name": "paraleon",
+    "params": {
+      "controller.sa.total_iter_num": 3,
+      "controller.weights": "throughput_sensitive",
+      "agent.tau_kb": 64
+    }
+  })"));
+  const runner::ExperimentConfig cfg = to_experiment_config(sc);
+  EXPECT_EQ(cfg.controller.sa.total_iter_num, 3);
+  const core::UtilityWeights w = core::UtilityWeights::throughput_sensitive();
+  EXPECT_DOUBLE_EQ(cfg.controller.weights.tp, w.tp);
+  EXPECT_EQ(cfg.agent.ternary.tau_bytes, 64 * 1024);
+}
+
+TEST(ScenarioParse, SweepAxesMustBeNonEmpty) {
+  (void)error_of([] {
+    parse_scenario_text(minimal(R"("sweep": {"axes": []})"));
+  });
+  (void)error_of([] {
+    parse_scenario_text(minimal(
+        R"("sweep": {"axes": [{"key": "duration_ms", "values": []}]})"));
+  });
+}
+
+// ---------------------------------------------------------------------
+// Dotted patches and the tiny overlay
+// ---------------------------------------------------------------------
+
+TEST(DottedPatch, NavigatesSectionsComponentsAndFlatParams) {
+  Json doc = Json::parse(minimal(R"("scheme": {
+    "name": "paraleon",
+    "params": {"controller.sa.cooling_rate": 0.5}
+  })"));
+  apply_dotted_patch(doc, "topology.hosts_per_side", Json::make_int(8));
+  apply_dotted_patch(doc, "workload.p.load", Json::make_number(0.7));
+  // scheme.params entries are flat dotted keys; exact match wins over
+  // descending into nonexistent nested objects.
+  apply_dotted_patch(doc, "scheme.params.controller.sa.cooling_rate",
+                     Json::make_number(0.9));
+
+  const Scenario sc = parse_scenario(doc);
+  EXPECT_EQ(sc.topology.hosts_per_side, 8);
+  EXPECT_DOUBLE_EQ(sc.workload[0].load, 0.7);
+  ASSERT_EQ(sc.scheme.params.size(), 1u);
+  EXPECT_DOUBLE_EQ(sc.scheme.params[0].second.as_double(), 0.9);
+}
+
+TEST(DottedPatch, UnknownComponentNameFails) {
+  Json doc = Json::parse(minimal());
+  const std::string msg = error_of([&] {
+    apply_dotted_patch(doc, "workload.nope.load", Json::make_number(0.5));
+  });
+  EXPECT_TRUE(contains(msg, "no component named \"nope\"")) << msg;
+}
+
+TEST(DottedPatch, InsertedUnknownKeyDiesOnReparse) {
+  // The patch itself inserts freely; the strict reparse is the gate —
+  // exactly how a sweep axis over a misspelled key fails.
+  Json doc = Json::parse(minimal());
+  apply_dotted_patch(doc, "topology.hosts_per_sde", Json::make_int(8));
+  const std::string msg = error_of([&] { parse_scenario(doc); });
+  EXPECT_TRUE(contains(msg, "did you mean \"hosts_per_side\"")) << msg;
+}
+
+TEST(TinyOverlay, AppliedOnlyWhenRequested) {
+  const std::string text = minimal(R"("tiny": {
+    "duration_ms": 2,
+    "workload.p.load": 0.1
+  })");
+  const Scenario full = parse_scenario_text(text, "", /*tiny=*/false);
+  EXPECT_DOUBLE_EQ(full.duration_ms, 10.0);
+  EXPECT_DOUBLE_EQ(full.workload[0].load, 0.3);
+  // The overlay section itself never reaches the retained document.
+  EXPECT_FALSE(full.doc.has("tiny"));
+
+  const Scenario tiny = parse_scenario_text(text, "", /*tiny=*/true);
+  EXPECT_DOUBLE_EQ(tiny.duration_ms, 2.0);
+  EXPECT_DOUBLE_EQ(tiny.workload[0].load, 0.1);
+  EXPECT_FALSE(tiny.doc.has("tiny"));
+}
+
+TEST(TinyOverlay, TypoInOverlayIsAHardError) {
+  const std::string text = minimal(R"("tiny": {"duration_mss": 2})");
+  (void)parse_scenario_text(text, "", /*tiny=*/false);  // inert when unused
+  const std::string msg = error_of([&] {
+    parse_scenario_text(text, "", /*tiny=*/true);
+  });
+  EXPECT_TRUE(contains(msg, "did you mean \"duration_ms\"")) << msg;
+}
+
+}  // namespace
+}  // namespace paraleon::scenario

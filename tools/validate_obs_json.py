@@ -7,6 +7,8 @@ Usage:
   validate_obs_json.py --trace-only TRACE_JSON
   validate_obs_json.py --bench BENCH_JSON
   validate_obs_json.py --fleet FLEET_JSON [TIMELINE_JSON]
+  validate_obs_json.py --grid GRID_JSON
+  validate_obs_json.py --scenario SCENARIO_JSON
 
 OBS_JSON is the per-run obs report (runner::obs_report_json): the full
 counter registry, trace-recorder totals, tuning-episode timelines, the
@@ -29,6 +31,14 @@ wall section's internal bookkeeping (per-worker busy+idle vs the pool wall
 window, queue-wait histogram vs job count). With TIMELINE_JSON it also
 checks the merged Perfetto timeline: metadata-named tracks, one 'X' span
 per executed job on a worker track, and paired 's'/'f' flow arrows.
+--grid checks a paraleon.grid.v1 document (the GridRunner artifact of a
+scenario sweep): row-major cell enumeration against the axes' cross
+product (every coordinate present exactly once, in order), per-cell digest
+format and fct shape, aggregate consistency over the cells, and the
+deterministic/wall split (jobs and wall seconds only ever under "wall").
+--scenario lints a scenarios/*.json file against the schema's key sets —
+the same unknown-key strictness the C++ parser enforces, with difflib
+"did you mean" suggestions, usable without building the simulator.
 
 Exits nonzero with a message on the first violation, so the CI smoke job
 fails loudly when an emitter drifts from the documented schema.
@@ -500,6 +510,339 @@ def check_fleet_timeline(path, fleet_doc):
     return len(events), n_spans
 
 
+# Reserved aggregate names a grid document must carry beside the scraped
+# instruments; their per-cell values sit in the cell rows.
+GRID_ROW_AGGREGATES = {
+    "metric_value": lambda cell: cell["value"],
+    "events_executed": lambda cell: cell["events_executed"],
+    "fct.finished": lambda cell: cell["fct"]["finished"],
+    "fct.slowdown_mean": lambda cell: cell["fct"]["slowdown"]["mean"],
+    "fct.slowdown_p95": lambda cell: cell["fct"]["slowdown"]["p95"],
+    "fct.slowdown_p999": lambda cell: cell["fct"]["slowdown"]["p999"],
+}
+
+GRID_SLOWDOWN_KEYS = {"mean", "p50", "p95", "p99", "p999"}
+
+
+def check_grid(path):
+    """Validates a paraleon.grid.v1 document; returns the parsed doc."""
+    doc = load(path)
+    require(doc.get("schema") == "paraleon.grid.v1",
+            f"{path}: bad schema {doc.get('schema')!r}")
+    require(isinstance(doc.get("scenario"), str) and doc["scenario"],
+            f"{path}: 'scenario' must be a nonempty string")
+    require(isinstance(doc.get("seed"), int) and doc["seed"] >= 0,
+            f"{path}: 'seed' must be a nonnegative int")
+    require(isinstance(doc.get("metric"), str) and doc["metric"],
+            f"{path}: 'metric' must be a nonempty string")
+
+    axes = doc.get("axes")
+    require(isinstance(axes, list), f"{path}: 'axes' must be a list")
+    for i, axis in enumerate(axes):
+        where = f"{path}: axes[{i}]"
+        require(isinstance(axis, dict) and set(axis) == {"key", "values"},
+                f"{where}: axis must hold exactly key+values")
+        require(isinstance(axis["key"], str) and axis["key"],
+                f"{where}: key must be a nonempty string")
+        require(isinstance(axis["values"], list) and axis["values"],
+                f"{where}: values must be a nonempty list")
+
+    cells = doc.get("cells")
+    require(isinstance(cells, list), f"{path}: 'cells' must be a list")
+    n_expected = 1
+    for axis in axes:
+        n_expected *= len(axis["values"])
+    require(len(cells) == n_expected,
+            f"{path}: {len(cells)} cells, axes cross product is "
+            f"{n_expected}")
+
+    seen_coords = set()
+    for i, cell in enumerate(cells):
+        where = f"{path}: cells[{i}]"
+        for key in ("index", "coords", "seed", "digest", "value",
+                    "events_executed", "fct"):
+            require(key in cell, f"{where} missing '{key}'")
+        require(cell["index"] == i,
+                f"{where}: index {cell['index']} out of row-major order")
+        require(re.fullmatch(r"[0-9a-f]{16}", cell["digest"]),
+                f"{where}: digest must be 16 lowercase hex chars, got "
+                f"{cell['digest']!r}")
+        require(isinstance(cell["value"], (int, float)),
+                f"{where}: value must be numeric")
+        require(isinstance(cell["events_executed"], int)
+                and cell["events_executed"] > 0,
+                f"{where}: events_executed must be a positive int")
+
+        coords = cell["coords"]
+        require(isinstance(coords, dict) and
+                list(coords) == [a["key"] for a in axes],
+                f"{where}: coords keys must match the axes, in order")
+        # Row-major enumeration, first axis slowest: cell i's coordinate
+        # on each axis is fully determined by its index.
+        stride = n_expected
+        for axis in axes:
+            stride //= len(axis["values"])
+            expected = axis["values"][(i // stride) % len(axis["values"])]
+            require(coords[axis["key"]] == expected,
+                    f"{where}: coords[{axis['key']}] = "
+                    f"{coords[axis['key']]!r}, row-major order expects "
+                    f"{expected!r}")
+        frozen = json.dumps(coords, sort_keys=True)
+        require(frozen not in seen_coords, f"{where}: duplicate coords")
+        seen_coords.add(frozen)
+
+        fct = cell["fct"]
+        require(isinstance(fct, dict), f"{where}: fct must be a dict")
+        for key in ("finished", "started", "slowdown"):
+            require(key in fct, f"{where}: fct missing '{key}'")
+        require(fct["finished"] <= fct["started"],
+                f"{where}: finished more flows than started")
+        slow = fct["slowdown"]
+        require(set(slow) == GRID_SLOWDOWN_KEYS,
+                f"{where}: slowdown keys drifted, got {sorted(slow)}")
+        for key in GRID_SLOWDOWN_KEYS:
+            require(isinstance(slow[key], (int, float)),
+                    f"{where}: slowdown.{key} must be numeric")
+        if fct["finished"] > 0:
+            require(slow["p50"] <= slow["p95"] <= slow["p99"]
+                    <= slow["p999"],
+                    f"{where}: tail quantiles are not monotone")
+
+    aggregates = doc.get("aggregates")
+    require(isinstance(aggregates, dict), f"{path}: missing 'aggregates'")
+    for name, agg in aggregates.items():
+        where = f"{path}: aggregates[{name}]"
+        require(set(agg) == {"min", "mean", "p95", "max", "n"},
+                f"{where}: aggregate keys drifted, got {sorted(agg)}")
+        # An instrument aggregate covers only the cells whose scheme
+        # scraped it (a scheme.name axis mixes instrument sets); the
+        # reserved names below must cover every cell.
+        require(isinstance(agg["n"], int)
+                and 1 <= agg["n"] <= len(cells),
+                f"{where}: n must be in 1..{len(cells)}")
+        require(agg["min"] <= agg["mean"] <= agg["max"],
+                f"{where}: min <= mean <= max violated")
+        require(agg["min"] <= agg["p95"] <= agg["max"],
+                f"{where}: min <= p95 <= max violated")
+    if cells:
+        for name, cell_value in GRID_ROW_AGGREGATES.items():
+            require(name in aggregates,
+                    f"{path}: aggregates missing reserved name '{name}'")
+            require(aggregates[name]["n"] == len(cells),
+                    f"{path}: aggregates[{name}].n must equal the cell "
+                    f"count {len(cells)}")
+            values = [cell_value(cell) for cell in cells]
+            agg = aggregates[name]
+            require(approx(agg["min"], min(values)),
+                    f"{path}: aggregates[{name}].min != min over cells")
+            require(approx(agg["max"], max(values)),
+                    f"{path}: aggregates[{name}].max != max over cells")
+            require(approx(agg["mean"], sum(values) / len(values),
+                           rel=1e-6),
+                    f"{path}: aggregates[{name}].mean != mean over cells")
+
+    # The deterministic/wall split: the nondeterministic facts (requested
+    # job count, pool utilization, wall seconds) live ONLY under "wall".
+    # A --grid-out artifact carries it; the byte-compared deterministic
+    # half (to_json(false)) omits the subtree entirely.
+    known = {"schema", "scenario", "seed", "metric", "axes", "cells",
+             "aggregates", "wall"}
+    for key in doc:
+        require(key in known, f"{path}: unknown top-level key {key!r}")
+    wall = doc.get("wall")
+    if wall is not None:
+        require(isinstance(wall, dict), f"{path}: 'wall' must be a dict")
+        for key in ("jobs", "hardware_workers"):
+            require(isinstance(wall.get(key), int) and wall[key] >= 0,
+                    f"{path}: wall.{key} must be a nonnegative int")
+        require(isinstance(wall.get("wall_seconds"), (int, float))
+                and wall["wall_seconds"] >= 0,
+                f"{path}: wall.wall_seconds must be nonnegative")
+        pool = wall.get("pool")
+        if pool is not None:
+            require(isinstance(pool, dict),
+                    f"{path}: wall.pool must be a dict")
+            for key in ("workers", "jobs_completed"):
+                require(isinstance(pool.get(key), int) and pool[key] >= 0,
+                        f"{path}: wall.pool.{key} must be a nonnegative "
+                        f"int")
+            for key in ("pool_wall_seconds", "busy_seconds",
+                        "idle_seconds"):
+                require(isinstance(pool.get(key), (int, float))
+                        and pool[key] >= 0,
+                        f"{path}: wall.pool.{key} must be nonnegative")
+    return doc
+
+
+# ---------------------------------------------------------------------
+# Scenario-file lint: the C++ parser's key sets, mirrored so a scenario
+# can be checked without building the simulator. Kept in lockstep with
+# src/scenario/scenario.cpp (tests/scenario_test.cpp guards the C++ side;
+# the CI scenario-pack job runs both against the same files).
+# ---------------------------------------------------------------------
+
+SCENARIO_TOP_KEYS = {"name", "description", "seed", "duration_ms",
+                     "topology", "scheme", "workload", "metric", "sweep",
+                     "tiny"}
+
+SCENARIO_TOPOLOGY_KEYS = {
+    "spine_leaf": {"kind", "tors", "spines", "hosts_per_tor", "host_gbps",
+                   "oversubscription", "fabric_gbps", "prop_delay_us",
+                   "buffer_mb"},
+    "fat_tree": {"kind", "k", "host_gbps", "oversubscription",
+                 "prop_delay_us", "buffer_mb"},
+    "dumbbell": {"kind", "hosts_per_side", "host_gbps", "bottleneck_gbps",
+                 "prop_delay_us", "buffer_mb"},
+}
+
+SCENARIO_COMPONENT_KEYS = {
+    "alltoall": {"name", "tenant", "kind", "start_ms", "stop_ms",
+                 "workers", "placement", "hosts", "flow_kb",
+                 "off_period_ms", "max_rounds"},
+    "permutation": {"name", "tenant", "kind", "start_ms", "stop_ms",
+                    "seed", "workers", "placement", "hosts", "flow_kb",
+                    "period_ms", "max_rounds"},
+    "incast": {"name", "tenant", "kind", "start_ms", "stop_ms", "workers",
+               "placement", "hosts", "receiver", "flow_kb", "period_ms",
+               "max_rounds"},
+    "poisson": {"name", "tenant", "kind", "start_ms", "stop_ms", "seed",
+                "hosts", "sizes", "load"},
+}
+
+SCENARIO_SCHEMES = {
+    "default", "expert", "custom", "paraleon", "paraleon_naive_sa",
+    "paraleon_no_fsd", "paraleon_netflow", "paraleon_naive_sketch",
+    "paraleon_rnic_counters", "paraleon_per_pod", "acc", "dcqcn_plus",
+}
+
+SCENARIO_METRICS = {"tput_mean_gbps", "rtt_mean_us", "fct_p99_slowdown",
+                    "fct_mean_slowdown", "flows_finished"}
+
+SCENARIO_PARAM_KEYS = {
+    "agent.evict_after_idle", "agent.tau_kb",
+    "controller.blind_retrigger_mi", "controller.episode_cooldown_mi",
+    "controller.eval_mi_per_candidate", "controller.fsd_available",
+    "controller.fsd_ema", "controller.kl_theta", "controller.mi_us",
+    "controller.post_check_window_mi", "controller.revert_margin",
+    "controller.sa.acceptance_temp_scale", "controller.sa.cooling_rate",
+    "controller.sa.eta", "controller.sa.final_temp",
+    "controller.sa.guided", "controller.sa.initial_temp",
+    "controller.sa.total_iter_num", "controller.steady_retrigger_mi",
+    "controller.trigger_kick_steps", "controller.weights",
+    "dcqcn.ai_rate_mbps", "dcqcn.alpha_update_period_us",
+    "dcqcn.clamp_tgt_rate", "dcqcn.g", "dcqcn.hai_rate_mbps",
+    "dcqcn.initial_alpha", "dcqcn.kmax_kb", "dcqcn.kmin_kb",
+    "dcqcn.min_rate_mbps", "dcqcn.min_time_between_cnps_us", "dcqcn.pmax",
+    "dcqcn.rate_reduce_monitor_period_us", "dcqcn.rpg_byte_reset",
+    "dcqcn.rpg_threshold", "dcqcn.rpg_time_reset_us", "invariants.level",
+    "track_fsd_accuracy",
+}
+
+
+def reject_unknown_keys(obj, known, where):
+    import difflib
+    for key in obj:
+        if key not in known:
+            hint = difflib.get_close_matches(key, sorted(known), n=1)
+            suffix = f' — did you mean "{hint[0]}"?' if hint else ""
+            fail(f"{where}: unknown key {key!r}{suffix}")
+
+
+def check_scenario(path):
+    """Lints a scenarios/*.json file; returns (name, components, cells)."""
+    doc = load(path)
+    require(isinstance(doc, dict), f"{path}: the root must be an object")
+    reject_unknown_keys(doc, SCENARIO_TOP_KEYS, path)
+    require(isinstance(doc.get("name"), str) and doc["name"],
+            f"{path}: a scenario needs a nonempty 'name'")
+
+    topo = doc.get("topology", {})
+    require(isinstance(topo, dict), f"{path}: topology must be an object")
+    kind = topo.get("kind", "spine_leaf")
+    require(kind in SCENARIO_TOPOLOGY_KEYS,
+            f"{path}: unknown topology kind {kind!r}")
+    reject_unknown_keys(topo, SCENARIO_TOPOLOGY_KEYS[kind],
+                        f"{path}: topology")
+    require(not (topo.get("oversubscription") and topo.get("fabric_gbps")),
+            f"{path}: topology sets both oversubscription and fabric_gbps")
+
+    scheme = doc.get("scheme", {})
+    require(isinstance(scheme, dict), f"{path}: scheme must be an object")
+    reject_unknown_keys(scheme, {"name", "force_trigger", "params"},
+                        f"{path}: scheme")
+    scheme_name = scheme.get("name", "paraleon")
+    if scheme_name not in SCENARIO_SCHEMES:
+        import difflib
+        hint = difflib.get_close_matches(scheme_name,
+                                         sorted(SCENARIO_SCHEMES), n=1)
+        suffix = f' — did you mean "{hint[0]}"?' if hint else ""
+        fail(f"{path}: unknown scheme {scheme_name!r}{suffix}")
+    params = scheme.get("params", {})
+    require(isinstance(params, dict),
+            f"{path}: scheme.params must be an object")
+    reject_unknown_keys(params, SCENARIO_PARAM_KEYS,
+                        f"{path}: scheme.params")
+    if scheme_name != "custom":
+        for key in params:
+            require(not key.startswith("dcqcn."),
+                    f"{path}: scheme.params.{key} requires scheme "
+                    f"'custom'")
+
+    workload = doc.get("workload")
+    require(isinstance(workload, list) and workload,
+            f"{path}: 'workload' must be a nonempty component array")
+    names = set()
+    for i, comp in enumerate(workload):
+        where = f"{path}: workload[{i}]"
+        require(isinstance(comp, dict), f"{where}: must be an object")
+        name = comp.get("name")
+        require(isinstance(name, str) and name,
+                f"{where}: every component needs a 'name'")
+        require(name not in names, f"{where}: duplicate component name "
+                f"{name!r}")
+        names.add(name)
+        comp_kind = comp.get("kind")
+        require(comp_kind in SCENARIO_COMPONENT_KEYS,
+                f"{where}: unknown component kind {comp_kind!r}")
+        reject_unknown_keys(comp, SCENARIO_COMPONENT_KEYS[comp_kind],
+                            f"{path}: workload.{name}")
+        if comp_kind == "poisson" and "load" in comp:
+            require(0 < comp["load"] <= 1,
+                    f"{path}: workload.{name}.load must be in (0, 1]")
+
+    metric = doc.get("metric", {})
+    require(isinstance(metric, dict), f"{path}: metric must be an object")
+    reject_unknown_keys(metric, {"name", "from_ms", "to_ms"},
+                        f"{path}: metric")
+    metric_name = metric.get("name", "tput_mean_gbps")
+    require(metric_name in SCENARIO_METRICS,
+            f"{path}: unknown metric {metric_name!r}")
+
+    n_cells = 1
+    sweep = doc.get("sweep")
+    if sweep is not None:
+        require(isinstance(sweep, dict) and set(sweep) == {"axes"},
+                f"{path}: sweep must hold exactly 'axes'")
+        require(isinstance(sweep["axes"], list) and sweep["axes"],
+                f"{path}: sweep.axes must be a nonempty list")
+        for i, axis in enumerate(sweep["axes"]):
+            where = f"{path}: sweep.axes[{i}]"
+            require(isinstance(axis, dict)
+                    and set(axis) == {"key", "values"},
+                    f"{where}: an axis holds exactly key+values")
+            require(isinstance(axis["key"], str) and axis["key"],
+                    f"{where}: needs a dotted 'key'")
+            require(isinstance(axis["values"], list) and axis["values"],
+                    f"{where}: values must be a nonempty array")
+            n_cells *= len(axis["values"])
+
+    tiny = doc.get("tiny")
+    if tiny is not None:
+        require(isinstance(tiny, dict),
+                f"{path}: tiny must be an object of dotted patches")
+    return doc["name"], len(workload), n_cells
+
+
 def check_obs(path):
     doc = load(path)
     for key in ("registry", "trace", "episodes", "fct", "perf"):
@@ -718,6 +1061,19 @@ def main():
         bench, n_metrics = check_bench(sys.argv[2])
         print(f"validate_obs_json: bench file OK: {bench}, "
               f"{n_metrics} metrics")
+        return
+    if sys.argv[1] == "--grid":
+        require(len(sys.argv) == 3, "--grid takes exactly one file")
+        doc = check_grid(sys.argv[2])
+        wall = " + wall" if "wall" in doc else ""
+        print(f"validate_obs_json: grid file OK: {doc['scenario']}, "
+              f"{len(doc['axes'])} axes, {len(doc['cells'])} cells{wall}")
+        return
+    if sys.argv[1] == "--scenario":
+        require(len(sys.argv) == 3, "--scenario takes exactly one file")
+        name, n_components, n_cells = check_scenario(sys.argv[2])
+        print(f"validate_obs_json: scenario file OK: {name}, "
+              f"{n_components} components, {n_cells} sweep cells")
         return
     if sys.argv[1] == "--fleet":
         require(len(sys.argv) in (3, 4),
